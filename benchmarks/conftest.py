@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module regenerates one of the paper artefacts listed in
+DESIGN.md (figures 1-5, the Section 2 example, the Section 6 analysis) and
+prints the corresponding table so that ``pytest benchmarks/ --benchmark-only``
+doubles as the experiment driver for EXPERIMENTS.md.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

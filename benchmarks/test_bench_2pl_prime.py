@@ -1,0 +1,76 @@
+"""E6 / E9 — Figure 2, Figure 5 and Section 5.4: 2PL, 2PL' and locking-policy optimality.
+
+Regenerates the locking comparison: the 2PL transformation of the Figure 2
+transaction, the 2PL' variant of Figure 5, and the measured performance
+(delay-free projected schedules) showing 2PL' correct, separable and
+strictly better than 2PL — the paper's witness that 2PL is not optimal
+among separable policies once a variable may be distinguished.
+"""
+
+import pytest
+
+from repro.analysis.locking_analysis import (
+    compare_locking_policies,
+    locking_report_table,
+    policy_dominates,
+)
+from repro.core.examples import figure2_transaction
+from repro.core.transactions import make_system
+from repro.locking.two_phase import (
+    NoLockingPolicy,
+    TwoPhaseExceptExclusivePolicy,
+    TwoPhaseLockingPolicy,
+    TwoPhasePrimePolicy,
+    two_phase_lock,
+    two_phase_prime_lock,
+)
+
+
+@pytest.fixture(scope="module")
+def witness_system():
+    """T1 = (x, y, z), T2 = (x, y): the system where 2PL' visibly wins."""
+    return make_system(["x", "y", "z"], ["x", "y"], name="witness")
+
+
+def test_figure2_and_figure5_transformations(benchmark):
+    def transform():
+        return (
+            two_phase_lock(figure2_transaction()),
+            two_phase_prime_lock(figure2_transaction(), "x"),
+        )
+
+    locked_2pl, locked_prime = benchmark(transform)
+    assert len(locked_2pl) == 10
+    assert len(locked_prime) == 14
+    print()
+    print("[E6 / Figure 2] 2PL(Ti):   ", " ; ".join(str(a) for a in locked_2pl))
+    print("[E9 / Figure 5] 2PL'(Ti):  ", " ; ".join(str(a) for a in locked_prime))
+
+
+def test_policy_comparison_table(witness_system, benchmark):
+    policies = [
+        NoLockingPolicy(),
+        TwoPhaseLockingPolicy(),
+        TwoPhasePrimePolicy("x"),
+        TwoPhaseExceptExclusivePolicy(),
+    ]
+    reports = benchmark(compare_locking_policies, policies, witness_system)
+    by_name = {r.policy_name: r for r in reports}
+    assert not by_name["no-locking"].all_projected_serializable
+    assert by_name["2PL"].all_projected_serializable
+    assert by_name["2PL'[x]"].all_projected_serializable
+    assert (
+        by_name["2PL'[x]"].projected_schedules > by_name["2PL"].projected_schedules
+    )
+    print()
+    print("[E9] locking-policy comparison on T1=(x,y,z), T2=(x,y)")
+    print(locking_report_table(reports))
+
+
+def test_2pl_prime_strict_dominance(witness_system, benchmark):
+    dominates = benchmark(
+        policy_dominates, TwoPhasePrimePolicy("x"), TwoPhaseLockingPolicy(), witness_system
+    )
+    assert dominates
+    print()
+    print("[E9] 2PL'[x] passes a strict superset of 2PL's delay-free schedules: ", dominates)

@@ -1,0 +1,66 @@
+"""E11 — Section 6: delay-free probability |P|/|H| and expected displacement.
+
+Regenerates the paper's justification of the fixpoint-set measure: richer
+fixpoint sets mean a higher probability that a uniformly random request
+history passes with no delay, and fewer displaced requests when it does not.
+"""
+
+import pytest
+
+from repro.analysis.counting import delay_statistics_table, scheduler_delay_statistics
+from repro.core.examples import figure1_system
+from repro.core.instance import SystemInstance
+from repro.core.schedulers import (
+    ConflictSerializationScheduler,
+    MaximumInformationScheduler,
+    SerialScheduler,
+    SerializationScheduler,
+    WeakSerializationScheduler,
+)
+from repro.core.semantics import Interpretation
+from repro.core.transactions import StepRef, make_system
+
+
+@pytest.fixture(scope="module")
+def three_transaction_instance():
+    """Format (2, 2, 2): large enough for interesting ratios, small enough to enumerate."""
+    system = make_system(["x", "y"], ["y", "z"], ["z", "x"], name="ring")
+    interpretation = Interpretation(
+        system,
+        {ref: (lambda *locals_values: locals_values[-1] + 1) for ref in system.step_refs()},
+        {"x": 0, "y": 0, "z": 0},
+    )
+    return SystemInstance(system=system, interpretation=interpretation)
+
+
+def test_delay_free_probability_figure1(benchmark):
+    instance = figure1_system()
+    schedulers = [
+        SerialScheduler(instance),
+        SerializationScheduler(instance),
+        WeakSerializationScheduler(instance),
+        MaximumInformationScheduler(instance),
+    ]
+    stats = benchmark(scheduler_delay_statistics, schedulers)
+    probabilities = [s.delay_free_probability for s in stats]
+    assert probabilities == sorted(probabilities)
+    print()
+    print("[E11 / Section 6] delay statistics on the Figure 1 system (|H| = 3)")
+    print(delay_statistics_table(schedulers))
+
+
+def test_delay_free_probability_ring(three_transaction_instance, benchmark):
+    instance = three_transaction_instance
+    schedulers = [
+        SerialScheduler(instance),
+        ConflictSerializationScheduler(instance),
+        SerializationScheduler(instance),
+    ]
+    stats = benchmark(
+        scheduler_delay_statistics, schedulers, 200, 7
+    )
+    assert stats[0].fixpoint_size <= stats[-1].fixpoint_size
+    assert stats[0].delay_free_probability < 1.0
+    print()
+    print("[E11] delay statistics on the three-transaction ring system (format (2,2,2), |H| = 90)")
+    print(delay_statistics_table(schedulers, sample_size=200, seed=7))

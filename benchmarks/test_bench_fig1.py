@@ -1,0 +1,74 @@
+"""E5 — Figure 1 / Theorem 4: SR(T) vs WSR(T) on the weak-serializability example.
+
+Regenerates the Section 4.3 observation: the history (T11, T21, T12) is not
+serializable under Herbrand semantics, but with the concrete interpretations
+it reaches exactly the state of the serial history T2;T1, so the
+weak-serialization scheduler passes one more history than the serialization
+scheduler (3 of 3 versus 2 of 3).
+"""
+
+import pytest
+
+from repro.analysis.hierarchy import hierarchy_table
+from repro.core.examples import figure1_history, figure1_system
+from repro.core.schedulers import SerializationScheduler, WeakSerializationScheduler
+from repro.core.serializability import (
+    is_serializable,
+    is_weakly_serializable,
+    serializable_schedules,
+    weakly_serializable_schedules,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return figure1_system()
+
+
+def _classify(instance):
+    sr = serializable_schedules(instance.system)
+    wsr = weakly_serializable_schedules(
+        instance.system, instance.interpretation, instance.consistent_states
+    )
+    return len(sr), len(wsr)
+
+
+def test_figure1_gap_between_SR_and_WSR(instance, benchmark):
+    sr_size, wsr_size = benchmark(_classify, instance)
+    assert (sr_size, wsr_size) == (2, 3)
+    print()
+    print("[E5 / Figure 1] |SR(T)| =", sr_size, " |WSR(T)| =", wsr_size, " |H| = 3")
+    print(hierarchy_table(instance))
+
+
+def test_figure1_history_membership(instance, benchmark):
+    h = figure1_history()
+
+    def memberships():
+        return (
+            is_serializable(instance.system, h),
+            is_weakly_serializable(
+                instance.system, instance.interpretation, h, instance.consistent_states
+            ),
+        )
+
+    in_sr, in_wsr = benchmark(memberships)
+    assert not in_sr and in_wsr
+    print()
+    print(
+        "[E5 / Figure 1] h = (T11, T21, T12): serializable =", in_sr,
+        " weakly serializable =", in_wsr,
+    )
+
+
+def test_figure1_scheduler_fixpoints(instance, benchmark):
+    def fixpoints():
+        return (
+            len(SerializationScheduler(instance).fixpoint_set()),
+            len(WeakSerializationScheduler(instance).fixpoint_set()),
+        )
+
+    sr_fp, wsr_fp = benchmark(fixpoints)
+    assert wsr_fp == sr_fp + 1
+    print()
+    print("[E5 / Figure 1] serialization |P| =", sr_fp, " weak-serialization |P| =", wsr_fp)

@@ -1,0 +1,130 @@
+"""E3 / E10 — the performance hierarchy serial ⊆ 2PL ⊆ SR ⊆ WSR ⊆ C(T).
+
+Regenerates the central comparison of Sections 3-4 on small transaction
+systems: the fixpoint set of the optimal scheduler grows with the
+information level, and every concrete optimal scheduler we implement
+certifies against its Theorem 1 bound.
+"""
+
+import pytest
+
+from repro.analysis.hierarchy import classify_all_schedules, fixpoint_hierarchy, hierarchy_table
+from repro.analysis.reporting import format_table
+from repro.core.examples import figure1_system
+from repro.core.optimality import certify
+from repro.core.schedules import all_schedules, count_schedules
+from repro.core.schedulers import (
+    MaximumInformationScheduler,
+    SerialScheduler,
+    SerializationScheduler,
+    WeakSerializationScheduler,
+)
+from repro.locking.lock_manager import policy_output_schedules
+from repro.locking.two_phase import TwoPhaseLockingPolicy
+
+
+@pytest.fixture(scope="module")
+def theorem2_instance(request):
+    from repro.core.instance import SystemInstance
+    from repro.core.semantics import IntegrityConstraint, Interpretation
+    from repro.core.transactions import StepRef, Transaction, TransactionSystem, update_step
+
+    t1 = Transaction([update_step("x"), update_step("x")], name="T1")
+    t2 = Transaction([update_step("x")], name="T2")
+    system = TransactionSystem([t1, t2], name="theorem2")
+    interpretation = Interpretation(
+        system,
+        {
+            StepRef(1, 1): lambda t: t + 1,
+            StepRef(1, 2): lambda a, b: b - 1,
+            StepRef(2, 1): lambda t: 2 * t,
+        },
+        {"x": 0},
+    )
+    return SystemInstance(
+        system=system,
+        interpretation=interpretation,
+        constraint=IntegrityConstraint(lambda g: g["x"] == 0, "x = 0"),
+        consistent_states=({"x": 0},),
+    )
+
+
+def test_fixpoint_hierarchy_figure1(benchmark):
+    instance = figure1_system()
+    rows = benchmark(fixpoint_hierarchy, instance)
+    sizes = [row.fixpoint_size for row in rows]
+    assert sizes == sorted(sizes)
+    print()
+    print("[E10] optimal fixpoint set per information level (Figure 1 system)")
+    print(hierarchy_table(instance))
+
+
+def test_full_chain_with_2pl_output(benchmark):
+    instance = figure1_system()
+    system = instance.system
+
+    def chain():
+        serial = len(SerialScheduler(instance).fixpoint_set())
+        two_pl = len(policy_output_schedules(TwoPhaseLockingPolicy()(system)))
+        sr = len(SerializationScheduler(instance).fixpoint_set())
+        wsr = len(WeakSerializationScheduler(instance).fixpoint_set())
+        correct = len(MaximumInformationScheduler(instance).fixpoint_set())
+        return serial, two_pl, sr, wsr, correct
+
+    serial, two_pl, sr, wsr, correct = benchmark(chain)
+    assert serial <= two_pl <= sr <= wsr <= correct
+    print()
+    print("[E10] serial <= 2PL-output <= SR <= WSR <= C(T) on the Figure 1 system")
+    print(
+        format_table(
+            ["set", "size", "of |H|"],
+            [
+                ("serial", serial, count_schedules(system)),
+                ("2PL output", two_pl, count_schedules(system)),
+                ("SR(T)", sr, count_schedules(system)),
+                ("WSR(T)", wsr, count_schedules(system)),
+                ("C(T)", correct, count_schedules(system)),
+            ],
+        )
+    )
+
+
+def test_theorem2_serial_optimality(theorem2_instance, benchmark):
+    """E3: at minimum information the serial scheduler is optimal — and the
+    x+1 / 2x / x-1 instance shows any larger fixpoint set breaks correctness."""
+
+    def certs():
+        return (
+            certify(SerialScheduler(theorem2_instance)),
+            classify_all_schedules(theorem2_instance),
+        )
+
+    report, counts = benchmark(certs)
+    assert report.is_optimal
+    assert counts.serial == 2
+    assert counts.correct < counts.total
+    print()
+    print("[E3 / Theorem 2]", report.summary())
+    print("[E3] schedule classes:", counts.as_dict())
+
+
+def test_optimality_certificates_all_levels(benchmark):
+    instance = figure1_system()
+
+    def all_reports():
+        return [
+            certify(cls(instance))
+            for cls in (
+                SerialScheduler,
+                SerializationScheduler,
+                WeakSerializationScheduler,
+                MaximumInformationScheduler,
+            )
+        ]
+
+    reports = benchmark(all_reports)
+    assert all(r.is_optimal for r in reports)
+    print()
+    print("[E2-E4] optimality certificates (Theorem 1 bound met at every level)")
+    for report in reports:
+        print("  ", report.summary())

@@ -1,0 +1,160 @@
+"""The performance hierarchy: exhaustive classification of all schedules.
+
+The core prediction of the optimality theory is a chain of inclusions
+between the fixpoint sets of the optimal schedulers at increasing levels
+of information::
+
+    serial  ⊆  SR(T)  ⊆  WSR(T)  ⊆  C(T)  ⊆  H
+
+with the locking-policy output sets squeezed between ``serial`` and
+``SR(T)``.  This module enumerates every schedule of a small system,
+classifies it against every notion the library implements, counts the
+classes, and renders the comparison table (experiment E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.core.information import STANDARD_LEVELS
+from repro.core.instance import SystemInstance
+from repro.core.schedules import Schedule, all_schedules, count_schedules, is_serial
+from repro.core.serializability import (
+    is_conflict_serializable,
+    is_serializable,
+    is_view_serializable,
+    is_weakly_serializable,
+)
+
+
+@dataclass(frozen=True)
+class ScheduleClassCounts:
+    """How many schedules of ``H`` fall into each class."""
+
+    total: int
+    serial: int
+    conflict_serializable: int
+    view_serializable: int
+    herbrand_serializable: int
+    weakly_serializable: int
+    correct: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "total": self.total,
+            "serial": self.serial,
+            "conflict_serializable": self.conflict_serializable,
+            "view_serializable": self.view_serializable,
+            "herbrand_serializable": self.herbrand_serializable,
+            "weakly_serializable": self.weakly_serializable,
+            "correct": self.correct,
+        }
+
+    def inclusions_hold(self) -> bool:
+        """The paper's chain of inclusions, as counts."""
+        return (
+            self.serial
+            <= self.conflict_serializable
+            <= self.herbrand_serializable
+            <= self.weakly_serializable
+            <= self.correct
+            <= self.total
+        )
+
+
+@dataclass(frozen=True)
+class HierarchyRow:
+    """One scheduler/level row of the hierarchy table."""
+
+    name: str
+    fixpoint_size: int
+    total: int
+
+    @property
+    def fraction(self) -> float:
+        return self.fixpoint_size / self.total if self.total else 0.0
+
+
+def classify_all_schedules(
+    instance: SystemInstance,
+    max_concatenation_length: Optional[int] = None,
+) -> ScheduleClassCounts:
+    """Classify every schedule of the instance (small formats only)."""
+    system = instance.system
+    counts = {
+        "serial": 0,
+        "conflict": 0,
+        "view": 0,
+        "herbrand": 0,
+        "weak": 0,
+        "correct": 0,
+    }
+    total = 0
+    for schedule in all_schedules(system):
+        total += 1
+        if is_serial(system, schedule):
+            counts["serial"] += 1
+        if is_conflict_serializable(system, schedule):
+            counts["conflict"] += 1
+        if is_view_serializable(system, schedule):
+            counts["view"] += 1
+        if is_serializable(system, schedule):
+            counts["herbrand"] += 1
+        if is_weakly_serializable(
+            system,
+            instance.interpretation,
+            schedule,
+            instance.consistent_states,
+            max_concatenation_length,
+        ):
+            counts["weak"] += 1
+        if instance.is_correct_schedule(schedule):
+            counts["correct"] += 1
+    return ScheduleClassCounts(
+        total=total,
+        serial=counts["serial"],
+        conflict_serializable=counts["conflict"],
+        view_serializable=counts["view"],
+        herbrand_serializable=counts["herbrand"],
+        weakly_serializable=counts["weak"],
+        correct=counts["correct"],
+    )
+
+
+def fixpoint_hierarchy(instance: SystemInstance) -> List[HierarchyRow]:
+    """Fixpoint-set sizes of the optimal scheduler at each standard information level."""
+    total = count_schedules(instance.system)
+    rows = []
+    for level in STANDARD_LEVELS:
+        fixpoint = level.optimal_fixpoint_set(instance)
+        rows.append(HierarchyRow(name=level.name, fixpoint_size=len(fixpoint), total=total))
+    return rows
+
+
+def hierarchy_table(instance: SystemInstance) -> str:
+    """The E10 table: |P| and |P|/|H| per information level."""
+    rows = fixpoint_hierarchy(instance)
+    return format_table(
+        ["information level", "|P|", "|H|", "|P| / |H|"],
+        [
+            (row.name, row.fixpoint_size, row.total, f"{row.fraction:.4f}")
+            for row in rows
+        ],
+    )
+
+
+def scheduler_fixpoint_sizes(schedulers: Sequence) -> List[HierarchyRow]:
+    """Fixpoint sizes of concrete scheduler objects (exhaustive enumeration)."""
+    rows = []
+    for scheduler in schedulers:
+        total = count_schedules(scheduler.system)
+        rows.append(
+            HierarchyRow(
+                name=scheduler.name,
+                fixpoint_size=len(scheduler.fixpoint_set()),
+                total=total,
+            )
+        )
+    return rows

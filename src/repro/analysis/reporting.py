@@ -1,0 +1,31 @@
+"""Tiny plain-text table formatter shared by the analysis reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format headers + rows as an aligned plain-text table.
+
+    Numbers are rendered with :func:`str`; floats should be pre-formatted
+    by the caller if specific precision is wanted.
+    """
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but there are {columns} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render([str(h) for h in headers])]
+    lines.append(render(["-" * w for w in widths]))
+    lines.extend(render(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Core model and theory from Kung & Papadimitriou (SIGMOD 1979).
+
+This package implements the paper's primary contribution:
+
+* the transaction-system model (syntax, semantics, integrity constraints)
+  of Section 2 (:mod:`repro.core.transactions`, :mod:`repro.core.semantics`),
+* schedules/histories and their enumeration (:mod:`repro.core.schedules`),
+* Herbrand semantics and serializability theory, including weak
+  serializability (:mod:`repro.core.herbrand`,
+  :mod:`repro.core.serializability`),
+* the information-based model for schedulers, fixpoint sets, and the
+  optimality theorems of Sections 3-4 (:mod:`repro.core.information`,
+  :mod:`repro.core.schedulers`, :mod:`repro.core.optimality`).
+"""
+
+from repro.core.transactions import (
+    Step,
+    Transaction,
+    TransactionSystem,
+    StepRef,
+)
+from repro.core.semantics import (
+    Interpretation,
+    IntegrityConstraint,
+    SystemState,
+    execute_schedule,
+    execute_serial,
+)
+from repro.core.schedules import (
+    Schedule,
+    all_schedules,
+    all_serial_schedules,
+    is_legal,
+    is_serial,
+    count_schedules,
+)
+from repro.core.herbrand import (
+    HerbrandTerm,
+    HerbrandState,
+    herbrand_execute,
+    herbrand_final_state,
+)
+from repro.core.serializability import (
+    is_serializable,
+    is_weakly_serializable,
+    is_conflict_serializable,
+    is_view_serializable,
+    serializable_schedules,
+    weakly_serializable_schedules,
+    conflict_graph,
+    equivalent_serial_orders,
+)
+from repro.core.information import (
+    InformationLevel,
+    MinimumInformation,
+    SyntacticInformation,
+    SemanticInformation,
+    MaximumInformation,
+)
+from repro.core.schedulers import (
+    Scheduler,
+    SerialScheduler,
+    SerializationScheduler,
+    WeakSerializationScheduler,
+    MaximumInformationScheduler,
+    ConflictSerializationScheduler,
+    fixpoint_set,
+    is_correct_scheduler,
+)
+from repro.core.optimality import (
+    theorem1_upper_bound,
+    optimal_fixpoint_set,
+    is_optimal,
+    OptimalityReport,
+    minimum_information_adversary,
+    performance_partial_order,
+)
+
+__all__ = [
+    "Step",
+    "Transaction",
+    "TransactionSystem",
+    "StepRef",
+    "Interpretation",
+    "IntegrityConstraint",
+    "SystemState",
+    "execute_schedule",
+    "execute_serial",
+    "Schedule",
+    "all_schedules",
+    "all_serial_schedules",
+    "is_legal",
+    "is_serial",
+    "count_schedules",
+    "HerbrandTerm",
+    "HerbrandState",
+    "herbrand_execute",
+    "herbrand_final_state",
+    "is_serializable",
+    "is_weakly_serializable",
+    "is_conflict_serializable",
+    "is_view_serializable",
+    "serializable_schedules",
+    "weakly_serializable_schedules",
+    "conflict_graph",
+    "equivalent_serial_orders",
+    "InformationLevel",
+    "MinimumInformation",
+    "SyntacticInformation",
+    "SemanticInformation",
+    "MaximumInformation",
+    "Scheduler",
+    "SerialScheduler",
+    "SerializationScheduler",
+    "WeakSerializationScheduler",
+    "MaximumInformationScheduler",
+    "ConflictSerializationScheduler",
+    "fixpoint_set",
+    "is_correct_scheduler",
+    "theorem1_upper_bound",
+    "optimal_fixpoint_set",
+    "is_optimal",
+    "OptimalityReport",
+    "minimum_information_adversary",
+    "performance_partial_order",
+]

@@ -1,0 +1,164 @@
+"""Herbrand (symbolic) semantics for transaction systems (Section 4.2).
+
+When only syntactic information is available, the paper supplements the
+syntax with *Herbrand semantics*: the domain of every variable is the set
+of symbolic terms over an alphabet containing the variable names and the
+function symbols ``f_ij``, and the interpretation of ``f_ij`` applied to
+terms ``a_1, ..., a_j`` is simply the term ``f_ij(a_1, ..., a_j)``.  In
+other words, the Herbrand interpretation records the *entire history* of
+how each global variable's value was computed.
+
+By Herbrand's theorem, two step sequences that produce equal Herbrand
+final states produce equal final states under *every* interpretation —
+which is why final-state equality under Herbrand semantics is the right
+notion of serializability for syntactic information (Theorem 3).
+
+This module implements Herbrand terms, symbolic execution of schedules,
+and the final-state comparison used to decide membership in ``SR(T)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.core.schedules import Schedule, serial_schedule
+from repro.core.transactions import StepRef, TransactionSystem
+
+
+@dataclass(frozen=True)
+class HerbrandTerm:
+    """A term of the Herbrand universe.
+
+    A term is either an *initial-value symbol* for a global variable
+    (``symbol`` set, ``arguments`` empty) or the application of a function
+    symbol ``f_ij`` to previously computed terms.
+    """
+
+    symbol: str
+    arguments: Tuple["HerbrandTerm", ...] = ()
+
+    def __str__(self) -> str:
+        if not self.arguments:
+            return self.symbol
+        inner = ", ".join(str(a) for a in self.arguments)
+        return f"{self.symbol}({inner})"
+
+    def __repr__(self) -> str:
+        return f"HerbrandTerm({str(self)!r})"
+
+    @property
+    def is_initial(self) -> bool:
+        """Whether the term is an initial-value symbol (a constant)."""
+        return not self.arguments
+
+    def depth(self) -> int:
+        """The nesting depth of the term (initial symbols have depth 0)."""
+        if not self.arguments:
+            return 0
+        return 1 + max(arg.depth() for arg in self.arguments)
+
+    def size(self) -> int:
+        """The number of symbol occurrences in the term."""
+        return 1 + sum(arg.size() for arg in self.arguments)
+
+    def symbols(self) -> frozenset:
+        """All function/constant symbols occurring in the term."""
+        result = {self.symbol}
+        for arg in self.arguments:
+            result |= arg.symbols()
+        return frozenset(result)
+
+
+def initial_term(variable: str) -> HerbrandTerm:
+    """The initial-value symbol for a global variable."""
+    return HerbrandTerm(symbol=variable)
+
+
+#: A Herbrand state maps each global variable name to the symbolic term
+#: describing its current value, and each declared local (i, j) to the
+#: term it read.
+@dataclass
+class HerbrandState:
+    """The symbolic counterpart of :class:`repro.core.semantics.SystemState`."""
+
+    globals_: Dict[str, HerbrandTerm]
+    locals_: Dict[Tuple[int, int], HerbrandTerm]
+
+    @classmethod
+    def initial(cls, system: TransactionSystem) -> "HerbrandState":
+        """Every global variable holds its own initial-value symbol."""
+        return cls(
+            globals_={v: initial_term(v) for v in sorted(system.variables())},
+            locals_={},
+        )
+
+    def copy(self) -> "HerbrandState":
+        return HerbrandState(globals_=dict(self.globals_), locals_=dict(self.locals_))
+
+
+def herbrand_execute(
+    system: TransactionSystem,
+    schedule: Sequence[StepRef],
+    state: Optional[HerbrandState] = None,
+) -> HerbrandState:
+    """Symbolically execute a legal step sequence under Herbrand semantics.
+
+    Each step ``T_ij`` on variable ``x`` records ``t_ij := current term of
+    x`` and then sets ``x := f_ij(t_i1, ..., t_ij)``.  Read-only steps
+    (identity interpretation) leave the global term unchanged — this is
+    how syntactic read/write annotations refine the Herbrand analysis; a
+    blind-write step produces a term that omits its own ``t_ij`` argument.
+    """
+    symbols = system.canonical_function_symbols()
+    state = state.copy() if state is not None else HerbrandState.initial(system)
+    for ref in schedule:
+        step = system.step(ref)
+        i, j = ref.transaction, ref.step
+        current = state.globals_[step.variable]
+        state.locals_[(i, j)] = current
+        if step.is_read_only:
+            # identity interpretation: the global value is untouched
+            continue
+        args = tuple(
+            state.locals_[(i, k)]
+            for k in range(1, j + 1)
+            if not (step.is_blind_write and k == j)
+        )
+        state.globals_[step.variable] = HerbrandTerm(symbols[ref], args)
+    return state
+
+
+def herbrand_final_state(
+    system: TransactionSystem, schedule: Sequence[StepRef]
+) -> Dict[str, HerbrandTerm]:
+    """The mapping variable -> final Herbrand term after the schedule."""
+    return dict(herbrand_execute(system, schedule).globals_)
+
+
+def herbrand_equivalent(
+    system: TransactionSystem,
+    schedule_a: Sequence[StepRef],
+    schedule_b: Sequence[StepRef],
+) -> bool:
+    """Whether two schedules have identical Herbrand final states.
+
+    By Herbrand's theorem this implies they are equivalent under every
+    interpretation, i.e. *final-state equivalent*.
+    """
+    return herbrand_final_state(system, schedule_a) == herbrand_final_state(
+        system, schedule_b
+    )
+
+
+def serial_herbrand_states(
+    system: TransactionSystem,
+) -> Dict[Tuple[int, ...], Dict[str, HerbrandTerm]]:
+    """Final Herbrand states of all serial schedules, keyed by serial order."""
+    import itertools
+
+    result: Dict[Tuple[int, ...], Dict[str, HerbrandTerm]] = {}
+    for order in itertools.permutations(range(1, system.num_transactions + 1)):
+        sched = serial_schedule(system.format, list(order))
+        result[tuple(order)] = herbrand_final_state(system, sched)
+    return result

@@ -1,0 +1,196 @@
+"""Information levels for schedulers (Section 3.3).
+
+A *level of information* about a transaction system ``T`` is a set ``I``
+of transaction systems containing ``T``: the scheduler knows only that
+the system it handles lies somewhere in ``I``.  Equivalently, ``I`` is
+induced by a *projection* operator ``I(·)``; the level is then
+``{T' : I(T') = I(T)}``.
+
+The four levels the paper analyses are modelled here as classes:
+
+========================  =============================================
+:class:`MinimumInformation`    only the format ``(m_1, ..., m_n)``
+:class:`SyntacticInformation`  the full syntax (variables per step)
+:class:`SemanticInformation`   syntax + interpretations, but *not* the
+                               integrity constraints
+:class:`MaximumInformation`    the complete instance, ``I = {T}``
+========================  =============================================
+
+Each level knows how to (a) decide whether two instances are
+indistinguishable at that level, (b) compute the *optimal fixpoint set*
+for that level on a concrete instance — using the characterisations
+proved in Section 4 (serial schedules, ``SR(T)``, ``WSR(T)``, ``C(T)``)
+— and (c) compare itself to other levels (``refines``), realising the
+partial order on scheduler sophistication.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.instance import SystemInstance
+from repro.core.schedules import Schedule, all_serial_schedules
+from repro.core.serializability import (
+    serializable_schedules,
+    weakly_serializable_schedules,
+)
+from repro.core.transactions import TransactionSystem
+
+
+class InformationLevel(abc.ABC):
+    """Abstract information level: a projection of transaction-system instances."""
+
+    #: Short identifier used in reports and comparisons.
+    name: str = "abstract"
+
+    #: Sophistication rank; higher means more information.  Used only for
+    #: the built-in linear hierarchy of the paper's four levels.
+    rank: int = -1
+
+    @abc.abstractmethod
+    def projection(self, instance: SystemInstance) -> object:
+        """The information extracted from an instance at this level, ``I(T)``.
+
+        Two instances are indistinguishable at this level iff their
+        projections compare equal.
+        """
+
+    @abc.abstractmethod
+    def optimal_fixpoint_set(self, instance: SystemInstance) -> List[Schedule]:
+        """The fixpoint set of the optimal scheduler for this level on ``instance``.
+
+        This realises ``∩_{T' ∈ I} C(T')`` via the paper's Section 4
+        characterisations, which are exact.
+        """
+
+    def indistinguishable(self, a: SystemInstance, b: SystemInstance) -> bool:
+        """Whether two instances present the same information at this level."""
+        return self.projection(a) == self.projection(b)
+
+    def refines(self, other: "InformationLevel") -> bool:
+        """Whether this level carries at least as much information as ``other``.
+
+        In the paper's notation, level ``I`` refines ``I'`` when
+        ``I ⊆ I'`` — the more sophisticated scheduler's uncertainty set is
+        smaller.  For the built-in linear hierarchy this is a rank
+        comparison.
+        """
+        return self.rank >= other.rank
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class MinimumInformation(InformationLevel):
+    """Only the format of the system is known (Section 4.1, "Minimum information")."""
+
+    name = "minimum"
+    rank = 0
+
+    def projection(self, instance: SystemInstance) -> Tuple[int, ...]:
+        return instance.system.format
+
+    def optimal_fixpoint_set(self, instance: SystemInstance) -> List[Schedule]:
+        """Theorem 2: only the serial schedules can be passed without delay."""
+        return all_serial_schedules(instance.system)
+
+
+class SyntacticInformation(InformationLevel):
+    """Complete syntactic information (Section 4.2)."""
+
+    name = "syntactic"
+    rank = 1
+
+    def projection(self, instance: SystemInstance) -> Tuple:
+        system = instance.system
+        return tuple(
+            tuple(
+                (step.variable, step.is_read_only, step.is_blind_write)
+                for step in txn.steps
+            )
+            for txn in system.transactions
+        )
+
+    def optimal_fixpoint_set(self, instance: SystemInstance) -> List[Schedule]:
+        """Theorem 3: the optimal fixpoint set is ``SR(T)`` (Herbrand serializability)."""
+        return serializable_schedules(instance.system)
+
+
+class SemanticInformation(InformationLevel):
+    """All information except the integrity constraints (Section 4.3)."""
+
+    name = "semantic"
+    rank = 2
+
+    def __init__(self, max_concatenation_length: Optional[int] = None) -> None:
+        self.max_concatenation_length = max_concatenation_length
+
+    def projection(self, instance: SystemInstance) -> Tuple:
+        # Interpretations are Python callables and cannot be compared
+        # structurally in general; the projection therefore pairs the
+        # syntax with the identity of the interpretation object.  Two
+        # instances share a level iff they share syntax and interpretation
+        # (which is how the optimality experiments construct them).
+        syntax = SyntacticInformation().projection(instance)
+        return (syntax, id(instance.interpretation.step_functions))
+
+    def optimal_fixpoint_set(self, instance: SystemInstance) -> List[Schedule]:
+        """Theorem 4: the optimal fixpoint set is ``WSR(T)``."""
+        return weakly_serializable_schedules(
+            instance.system,
+            instance.interpretation,
+            instance.consistent_states,
+            self.max_concatenation_length,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.max_concatenation_length
+            == other.max_concatenation_length  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.max_concatenation_length))
+
+
+class MaximumInformation(InformationLevel):
+    """Complete information: ``I = {T}`` (Section 4.1, "Maximum information")."""
+
+    name = "maximum"
+    rank = 3
+
+    def projection(self, instance: SystemInstance) -> object:
+        return instance
+
+    def optimal_fixpoint_set(self, instance: SystemInstance) -> List[Schedule]:
+        """The optimal fixpoint set is all of ``C(T)``."""
+        return instance.correct_schedules()
+
+
+#: The paper's four levels in increasing order of information.
+STANDARD_LEVELS: Tuple[InformationLevel, ...] = (
+    MinimumInformation(),
+    SyntacticInformation(),
+    SemanticInformation(),
+    MaximumInformation(),
+)
+
+
+def level_hierarchy(instance: SystemInstance) -> List[Tuple[str, List[Schedule]]]:
+    """The optimal fixpoint set at each standard level, in increasing-information order.
+
+    Theorem 1's corollary predicts the sets are nested:
+    ``serial ⊆ SR(T) ⊆ WSR(T) ⊆ C(T)``.
+    """
+    return [
+        (level.name, level.optimal_fixpoint_set(instance))
+        for level in STANDARD_LEVELS
+    ]

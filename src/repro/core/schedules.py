@@ -1,0 +1,281 @@
+"""Schedules (histories) of a transaction system (Section 3.1).
+
+A *schedule* (also called a *log* or a *history*) of a transaction system
+``T`` is a permutation ``pi`` of the set of steps of ``T`` such that
+``pi(T_ij) < pi(T_ik)`` whenever ``j < k`` — i.e. an interleaving of the
+transactions that respects each transaction's internal step order.
+
+The set of all schedules of ``T`` is denoted ``H(T)``; since it depends
+only on the *format* of ``T`` we usually write ``H``.  The *serial*
+schedules are those in which each transaction runs to completion before
+the next begins.
+
+This module represents a schedule as a tuple of :class:`StepRef` and
+provides legality/seriality predicates, serial-schedule construction,
+exhaustive enumeration of ``H`` (feasible for the small formats used by
+the theory experiments), counting via the multinomial coefficient, prefix
+utilities, and the elementary *adjacent-swap* transformation used by the
+homotopy view of serializability (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.transactions import StepRef, TransactionSystem
+
+#: A schedule is an ordered tuple of step references covering every step
+#: of the system exactly once, in a per-transaction-order-respecting way.
+Schedule = Tuple[StepRef, ...]
+
+#: A format is the tuple (m_1, ..., m_n) of transaction lengths.
+Format = Tuple[int, ...]
+
+
+class ScheduleError(ValueError):
+    """Raised when an object is not a valid schedule of the given system."""
+
+
+def _format_of(system_or_format: Union[TransactionSystem, Sequence[int]]) -> Format:
+    if isinstance(system_or_format, TransactionSystem):
+        return system_or_format.format
+    fmt = tuple(int(m) for m in system_or_format)
+    if not fmt or any(m < 1 for m in fmt):
+        raise ScheduleError(f"invalid format {fmt}: lengths must be positive")
+    return fmt
+
+
+def schedule_from_pairs(pairs: Iterable[Tuple[int, int]]) -> Schedule:
+    """Build a schedule from ``(transaction, step)`` integer pairs (1-based)."""
+    return tuple(StepRef(i, j) for i, j in pairs)
+
+
+def is_legal(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+    sequence: Sequence[StepRef],
+    require_complete: bool = True,
+) -> bool:
+    """Whether ``sequence`` is a (prefix of a) schedule of the given format.
+
+    A legal sequence contains each step at most once and presents the
+    steps of every transaction in increasing step order with no gaps.
+    With ``require_complete=True`` (the default) the sequence must contain
+    *every* step of the format, i.e. be a full schedule in ``H``.
+    """
+    fmt = _format_of(system_or_format)
+    n = len(fmt)
+    next_expected = [1] * n
+    for ref in sequence:
+        i = ref.transaction
+        if not 1 <= i <= n:
+            return False
+        if ref.step > fmt[i - 1]:
+            return False
+        if ref.step != next_expected[i - 1]:
+            return False
+        next_expected[i - 1] += 1
+    if require_complete:
+        return all(next_expected[i] == fmt[i] + 1 for i in range(n))
+    return True
+
+
+def validate_schedule(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+    sequence: Sequence[StepRef],
+) -> Schedule:
+    """Validate and normalise a full schedule, raising :class:`ScheduleError` if invalid."""
+    if not is_legal(system_or_format, sequence, require_complete=True):
+        raise ScheduleError(f"not a legal complete schedule: {list(map(str, sequence))}")
+    return tuple(sequence)
+
+
+def is_serial(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+    schedule: Sequence[StepRef],
+) -> bool:
+    """Whether the schedule is serial (each transaction runs contiguously)."""
+    if not is_legal(system_or_format, schedule, require_complete=True):
+        return False
+    fmt = _format_of(system_or_format)
+    position = 0
+    while position < len(schedule):
+        txn = schedule[position].transaction
+        length = fmt[txn - 1]
+        block = schedule[position : position + length]
+        if any(ref.transaction != txn for ref in block):
+            return False
+        position += length
+    return True
+
+
+def serial_schedule(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+    order: Sequence[int],
+) -> Schedule:
+    """The serial schedule running whole transactions in the given 1-based order."""
+    fmt = _format_of(system_or_format)
+    if sorted(order) != list(range(1, len(fmt) + 1)):
+        raise ScheduleError(
+            f"serial order {order} is not a permutation of 1..{len(fmt)}"
+        )
+    refs: List[StepRef] = []
+    for i in order:
+        refs.extend(StepRef(i, j) for j in range(1, fmt[i - 1] + 1))
+    return tuple(refs)
+
+
+def serial_order_of(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+    schedule: Sequence[StepRef],
+) -> List[int]:
+    """The transaction order of a serial schedule (raises if not serial)."""
+    if not is_serial(system_or_format, schedule):
+        raise ScheduleError("schedule is not serial")
+    order: List[int] = []
+    for ref in schedule:
+        if not order or order[-1] != ref.transaction:
+            order.append(ref.transaction)
+    return order
+
+
+def all_serial_schedules(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+) -> List[Schedule]:
+    """All ``n!`` serial schedules of the system."""
+    fmt = _format_of(system_or_format)
+    n = len(fmt)
+    return [
+        serial_schedule(fmt, order)
+        for order in itertools.permutations(range(1, n + 1))
+    ]
+
+
+def all_schedules(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+) -> Iterator[Schedule]:
+    """Lazily enumerate every schedule in ``H`` for the given format.
+
+    The number of schedules is the multinomial coefficient
+    ``M! / (m_1! ... m_n!)`` where ``M = sum(m_i)``; enumeration is only
+    feasible for small formats (the theory experiments use formats with
+    ``M`` up to roughly 12).
+    """
+    fmt = _format_of(system_or_format)
+    n = len(fmt)
+
+    def extend(counters: Tuple[int, ...], prefix: Tuple[StepRef, ...]) -> Iterator[Schedule]:
+        if all(counters[i] == fmt[i] for i in range(n)):
+            yield prefix
+            return
+        for i in range(n):
+            if counters[i] < fmt[i]:
+                new_counters = counters[:i] + (counters[i] + 1,) + counters[i + 1 :]
+                yield from extend(
+                    new_counters, prefix + (StepRef(i + 1, counters[i] + 1),)
+                )
+
+    yield from extend(tuple(0 for _ in fmt), ())
+
+
+def count_schedules(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+) -> int:
+    """``|H|`` — the number of schedules, via the multinomial coefficient."""
+    fmt = _format_of(system_or_format)
+    total = math.factorial(sum(fmt))
+    for m in fmt:
+        total //= math.factorial(m)
+    return total
+
+
+def count_serial_schedules(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+) -> int:
+    """The number of serial schedules, ``n!``."""
+    fmt = _format_of(system_or_format)
+    return math.factorial(len(fmt))
+
+
+def random_schedule(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+    rng: Optional[random.Random] = None,
+) -> Schedule:
+    """Sample a schedule uniformly at random from ``H``.
+
+    Uniformity follows from interleaving by repeatedly drawing the next
+    transaction with probability proportional to its number of remaining
+    steps (the standard riffle-shuffle argument for multiset
+    permutations).
+    """
+    fmt = _format_of(system_or_format)
+    rng = rng or random.Random()
+    remaining = list(fmt)
+    counters = [0] * len(fmt)
+    refs: List[StepRef] = []
+    total = sum(remaining)
+    while total > 0:
+        pick = rng.randrange(total)
+        for i, r in enumerate(remaining):
+            if pick < r:
+                counters[i] += 1
+                remaining[i] -= 1
+                refs.append(StepRef(i + 1, counters[i]))
+                break
+            pick -= r
+        total -= 1
+    return tuple(refs)
+
+
+def adjacent_swaps(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+    schedule: Sequence[StepRef],
+) -> List[Schedule]:
+    """All schedules reachable by one *elementary transformation* (Section 5.3).
+
+    An elementary transformation interchanges two neighbouring steps that
+    belong to different transactions; swapping steps of the same
+    transaction would violate legality and is never produced.
+    """
+    schedule = validate_schedule(system_or_format, schedule)
+    results: List[Schedule] = []
+    for k in range(len(schedule) - 1):
+        a, b = schedule[k], schedule[k + 1]
+        if a.transaction == b.transaction:
+            continue
+        swapped = list(schedule)
+        swapped[k], swapped[k + 1] = b, a
+        results.append(tuple(swapped))
+    return results
+
+
+def projection(
+    schedule: Sequence[StepRef], transaction: int
+) -> Tuple[StepRef, ...]:
+    """The subsequence of ``schedule`` consisting of one transaction's steps."""
+    return tuple(ref for ref in schedule if ref.transaction == transaction)
+
+
+def positions(schedule: Sequence[StepRef]) -> Dict[StepRef, int]:
+    """Map each step to its 0-based position in the schedule."""
+    return {ref: k for k, ref in enumerate(schedule)}
+
+
+def interleaving_degree(
+    system_or_format: Union[TransactionSystem, Sequence[int]],
+    schedule: Sequence[StepRef],
+) -> int:
+    """The number of transaction switches in the schedule.
+
+    A serial schedule of ``n`` transactions has exactly ``n - 1``
+    switches; larger values indicate finer interleaving.  Used by the
+    analysis package to stratify schedules by "how concurrent" they are.
+    """
+    schedule = validate_schedule(system_or_format, schedule)
+    return sum(
+        1
+        for a, b in zip(schedule, schedule[1:])
+        if a.transaction != b.transaction
+    )

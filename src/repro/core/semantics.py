@@ -1,0 +1,348 @@
+"""Transaction-system semantics (Section 2 of the paper, "Semantics").
+
+The semantics of a transaction system consist of three ingredients:
+
+* a *domain* ``D(v)`` for every global variable ``v``,
+* an *interpretation* ``phi_ij`` of every function symbol ``f_ij`` — a
+  function of the local variables ``t_i1, ..., t_ij`` declared so far,
+* the *integrity constraints* ``IC``, a predicate over the global state.
+
+A *state* of the system is a triple ``(J, L, G)``:
+
+* ``J`` — the program counters (next step index per transaction),
+* ``L`` — the values of all declared local variables,
+* ``G`` — the values of all global variables.
+
+Executing an eligible step ``T_ij`` updates the state by::
+
+    j_i  <- j_i + 1
+    t_ij <- x_ij
+    x_ij <- phi_ij(t_i1, ..., t_ij)
+
+This module provides a concrete executable realisation of that machinery:
+:class:`Interpretation` bundles the ``phi_ij`` with an initial global
+state; :class:`IntegrityConstraint` wraps the consistency predicate;
+:func:`execute_schedule` runs any legal schedule; and
+:func:`execute_serial` runs a serial order of whole transactions.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.transactions import StepRef, TransactionSystem, TransactionSystemError
+
+#: The signature of a step interpretation phi_ij: it receives the values of
+#: the local variables t_i1, ..., t_ij (in order) and returns the new value
+#: of x_ij.
+StepFunction = Callable[..., Any]
+
+#: The signature of an integrity-constraint predicate: it receives the
+#: global state (a mapping from variable name to value) and returns a bool.
+ConstraintPredicate = Callable[[Mapping[str, Any]], bool]
+
+
+class SemanticsError(ValueError):
+    """Raised when semantics are inconsistent with the system's syntax."""
+
+
+class IllegalExecutionError(RuntimeError):
+    """Raised when a step that is not eligible is executed."""
+
+
+@dataclass
+class SystemState:
+    """A state ``(J, L, G)`` of a transaction system.
+
+    ``program_counters`` holds, for each transaction (1-based index key),
+    the index of the *next* step to execute; a counter of ``m_i + 1``
+    means the transaction has terminated.  ``locals_`` maps
+    ``(i, j)`` to the value of local variable ``t_ij`` once declared.
+    ``globals_`` maps variable names to their current values.
+    """
+
+    program_counters: Dict[int, int]
+    locals_: Dict[Tuple[int, int], Any]
+    globals_: Dict[str, Any]
+
+    @classmethod
+    def initial(
+        cls, system: TransactionSystem, initial_globals: Mapping[str, Any]
+    ) -> "SystemState":
+        """The state before any step has executed."""
+        missing = system.variables() - set(initial_globals)
+        if missing:
+            raise SemanticsError(
+                f"initial global state missing variables: {sorted(missing)}"
+            )
+        return cls(
+            program_counters={i: 1 for i in range(1, system.num_transactions + 1)},
+            locals_={},
+            globals_=dict(initial_globals),
+        )
+
+    def copy(self) -> "SystemState":
+        """A deep copy of the state (values are copied with :func:`copy.deepcopy`)."""
+        return SystemState(
+            program_counters=dict(self.program_counters),
+            locals_=dict(self.locals_),
+            globals_=copy.deepcopy(self.globals_),
+        )
+
+    def is_terminated(self, system: TransactionSystem) -> bool:
+        """Whether every transaction has executed all of its steps."""
+        return all(
+            self.program_counters[i] == len(system[i - 1]) + 1
+            for i in range(1, system.num_transactions + 1)
+        )
+
+    def eligible_steps(self, system: TransactionSystem) -> List[StepRef]:
+        """The steps currently eligible for execution (one per live transaction)."""
+        refs = []
+        for i in range(1, system.num_transactions + 1):
+            j = self.program_counters[i]
+            if j <= len(system[i - 1]):
+                refs.append(StepRef(i, j))
+        return refs
+
+
+@dataclass(frozen=True)
+class Interpretation:
+    """Interpretations ``phi_ij`` for every step, plus the initial global state.
+
+    Parameters
+    ----------
+    system:
+        The transaction system whose function symbols are being
+        interpreted.
+    step_functions:
+        Mapping from :class:`StepRef` to a callable receiving the values
+        of ``t_i1, ..., t_ij`` (i.e. ``j`` positional arguments) and
+        returning the new value of ``x_ij``.  Steps omitted from the
+        mapping default to the identity on their own local variable
+        (a pure read).
+    initial_globals:
+        The initial values of the global variables.
+    name:
+        Optional descriptive name.
+    """
+
+    system: TransactionSystem
+    step_functions: Mapping[StepRef, StepFunction]
+    initial_globals: Mapping[str, Any]
+    name: str = "interpretation"
+
+    def __post_init__(self) -> None:
+        for ref in self.step_functions:
+            if not self.system.contains_ref(ref):
+                raise SemanticsError(f"interpretation given for unknown step {ref}")
+        missing = self.system.variables() - set(self.initial_globals)
+        if missing:
+            raise SemanticsError(
+                f"initial global state missing variables: {sorted(missing)}"
+            )
+
+    def function_for(self, ref: StepRef) -> StepFunction:
+        """The interpretation of ``f_ij``; identity-on-``t_ij`` if unspecified."""
+        if ref in self.step_functions:
+            return self.step_functions[ref]
+        return lambda *locals_values: locals_values[-1]
+
+    def initial_state(self) -> SystemState:
+        """The initial system state under this interpretation."""
+        return SystemState.initial(self.system, self.initial_globals)
+
+
+@dataclass(frozen=True)
+class IntegrityConstraint:
+    """The integrity constraints ``IC`` of a transaction system.
+
+    Wraps a predicate over the global state.  A state ``(J, L, G)`` is
+    *consistent* iff ``predicate(G)`` holds.
+    """
+
+    predicate: ConstraintPredicate
+    description: str = ""
+
+    def holds(self, globals_: Mapping[str, Any]) -> bool:
+        """Whether the global state satisfies the constraints."""
+        return bool(self.predicate(globals_))
+
+    def __call__(self, globals_: Mapping[str, Any]) -> bool:
+        return self.holds(globals_)
+
+
+#: The trivial integrity constraint satisfied by every state.
+ALWAYS_CONSISTENT = IntegrityConstraint(lambda _globals: True, "True")
+
+
+def execute_step(
+    system: TransactionSystem,
+    interpretation: Interpretation,
+    state: SystemState,
+    ref: StepRef,
+) -> SystemState:
+    """Execute one step in-place semantics on a *copy* of ``state``.
+
+    Raises :class:`IllegalExecutionError` if the step is not the next step
+    of its transaction.
+    """
+    step = system.step(ref)
+    i, j = ref.transaction, ref.step
+    if state.program_counters.get(i) != j:
+        raise IllegalExecutionError(
+            f"step {ref} is not eligible: program counter for T{i} is "
+            f"{state.program_counters.get(i)}"
+        )
+    new_state = state.copy()
+    # t_ij <- x_ij
+    new_state.locals_[(i, j)] = new_state.globals_[step.variable]
+    # x_ij <- phi_ij(t_i1, ..., t_ij)
+    local_values = [new_state.locals_[(i, k)] for k in range(1, j + 1)]
+    phi = interpretation.function_for(ref)
+    new_state.globals_[step.variable] = phi(*local_values)
+    # j_i <- j_i + 1
+    new_state.program_counters[i] = j + 1
+    return new_state
+
+
+def execute_schedule(
+    system: TransactionSystem,
+    interpretation: Interpretation,
+    schedule: Sequence[StepRef],
+    initial_globals: Optional[Mapping[str, Any]] = None,
+) -> SystemState:
+    """Execute a sequence of steps from the initial state and return the final state.
+
+    The sequence must be a *legal* schedule prefix: steps of each
+    transaction must appear in order (this is enforced step by step by
+    :func:`execute_step`).  The sequence need not be complete.
+    """
+    if initial_globals is None:
+        state = interpretation.initial_state()
+    else:
+        state = SystemState.initial(system, initial_globals)
+    for ref in schedule:
+        state = execute_step(system, interpretation, state, ref)
+    return state
+
+
+def execute_serial(
+    system: TransactionSystem,
+    interpretation: Interpretation,
+    order: Sequence[int],
+    initial_globals: Optional[Mapping[str, Any]] = None,
+    allow_repetitions: bool = False,
+) -> SystemState:
+    """Execute whole transactions serially in the given 1-based order.
+
+    ``order`` lists transaction indices; each listed transaction runs all
+    of its steps to completion before the next starts.  With
+    ``allow_repetitions`` the same transaction may appear several times or
+    not at all — the notion needed for *weak serializability*
+    (Section 4.3), where schedules are compared against concatenations of
+    serial executions "possibly with repetitions and omissions".
+    """
+    if not allow_repetitions:
+        if sorted(order) != list(range(1, system.num_transactions + 1)):
+            raise SemanticsError(
+                "a serial order must be a permutation of all transaction indices; "
+                "pass allow_repetitions=True for weak-serializability semantics"
+            )
+    if initial_globals is None:
+        globals_ = dict(interpretation.initial_globals)
+    else:
+        globals_ = dict(initial_globals)
+
+    # Each serial execution of a transaction starts with fresh local
+    # variables; repetitions re-run the transaction from scratch.
+    state = SystemState(
+        program_counters={i: 1 for i in range(1, system.num_transactions + 1)},
+        locals_={},
+        globals_=globals_,
+    )
+    for index in order:
+        if not 1 <= index <= system.num_transactions:
+            raise SemanticsError(f"no transaction with index {index}")
+        txn = system[index - 1]
+        # reset this transaction's counter and locals so it can re-run
+        state.program_counters[index] = 1
+        for j in range(1, len(txn) + 1):
+            state.locals_.pop((index, j), None)
+        for j in range(1, len(txn) + 1):
+            state = execute_step(system, interpretation, state, StepRef(index, j))
+    return state
+
+
+def final_globals(
+    system: TransactionSystem,
+    interpretation: Interpretation,
+    schedule: Sequence[StepRef],
+    initial_globals: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The global-variable values after executing ``schedule``."""
+    return dict(
+        execute_schedule(system, interpretation, schedule, initial_globals).globals_
+    )
+
+
+def preserves_consistency(
+    system: TransactionSystem,
+    interpretation: Interpretation,
+    constraint: IntegrityConstraint,
+    schedule: Sequence[StepRef],
+    initial_globals_candidates: Optional[Iterable[Mapping[str, Any]]] = None,
+) -> bool:
+    """Whether executing ``schedule`` maps consistent states to consistent states.
+
+    The paper defines correctness of a schedule as preservation of
+    consistency from *any* consistent initial state.  In general that set
+    is infinite; callers supply a finite family of candidate initial
+    states to check against.  When ``initial_globals_candidates`` is
+    ``None`` only the interpretation's own initial state is checked
+    (and it is skipped if it is not consistent).
+    """
+    if initial_globals_candidates is None:
+        initial_globals_candidates = [interpretation.initial_globals]
+    for initial in initial_globals_candidates:
+        if not constraint.holds(initial):
+            continue
+        final = final_globals(system, interpretation, schedule, initial)
+        if not constraint.holds(final):
+            return False
+    return True
+
+
+def transaction_is_correct(
+    system: TransactionSystem,
+    interpretation: Interpretation,
+    constraint: IntegrityConstraint,
+    transaction_index: int,
+    initial_globals_candidates: Optional[Iterable[Mapping[str, Any]]] = None,
+) -> bool:
+    """Whether a single transaction preserves consistency when run alone.
+
+    This is the paper's *basic assumption*: every transaction in a
+    transaction system is individually correct.  The helper lets tests
+    and examples validate that their constructed systems actually satisfy
+    the assumption on the supplied consistent states.
+    """
+    if initial_globals_candidates is None:
+        initial_globals_candidates = [interpretation.initial_globals]
+    txn = system[transaction_index - 1]
+    schedule = [StepRef(transaction_index, j) for j in range(1, len(txn) + 1)]
+    return preserves_consistency(
+        system, interpretation, constraint, schedule, initial_globals_candidates
+    )

@@ -1,0 +1,86 @@
+"""An executable multi-user concurrency-control engine.
+
+The paper's performance claims are about delays imposed on interactively
+arriving requests (Section 6): scheduling time + waiting time + execution
+time.  This subpackage provides the measurement substrate for those
+claims — a versioned key-value store, online concurrency-control
+protocols (serial execution, strict two-phase locking, serialization
+graph testing, basic timestamp ordering, and optimistic validation in the
+style of Kung & Robinson), a workload generator family including the
+paper's banking example, and a discrete-event simulator that decomposes
+transaction latency exactly as Section 6 does.
+
+The protocols are *online* schedulers: they see one request at a time and
+must grant, delay, or reject (abort) it, in contrast with the static,
+whole-history schedulers of :mod:`repro.core.schedulers`.  The test suite
+cross-checks them against the static theory: every history of committed
+operations they produce is conflict-serializable.
+"""
+
+from repro.engine.storage import DataStore, Version
+from repro.engine.operations import (
+    Operation,
+    OperationKind,
+    TransactionSpec,
+    read_op,
+    write_op,
+    update_op,
+)
+from repro.engine.protocols.base import (
+    ConcurrencyControl,
+    Decision,
+    DecisionKind,
+    TransactionAborted,
+    SerialProtocol,
+)
+from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
+from repro.engine.protocols.timestamp_ordering import TimestampOrdering
+from repro.engine.protocols.sgt import SerializationGraphTesting
+from repro.engine.protocols.occ import OptimisticConcurrencyControl
+from repro.engine.runtime import TransactionExecutor, ExecutionResult
+from repro.engine.simulator import (
+    Simulator,
+    SimulationConfig,
+    SimulationReport,
+    LatencyBreakdown,
+)
+from repro.engine.workloads import (
+    WorkloadConfig,
+    banking_workload,
+    uniform_workload,
+    hotspot_workload,
+    zipfian_workload,
+    readonly_heavy_workload,
+)
+
+__all__ = [
+    "DataStore",
+    "Version",
+    "Operation",
+    "OperationKind",
+    "TransactionSpec",
+    "read_op",
+    "write_op",
+    "update_op",
+    "ConcurrencyControl",
+    "Decision",
+    "DecisionKind",
+    "TransactionAborted",
+    "SerialProtocol",
+    "StrictTwoPhaseLocking",
+    "TimestampOrdering",
+    "SerializationGraphTesting",
+    "OptimisticConcurrencyControl",
+    "TransactionExecutor",
+    "ExecutionResult",
+    "Simulator",
+    "SimulationConfig",
+    "SimulationReport",
+    "LatencyBreakdown",
+    "WorkloadConfig",
+    "banking_workload",
+    "uniform_workload",
+    "hotspot_workload",
+    "zipfian_workload",
+    "readonly_heavy_workload",
+]

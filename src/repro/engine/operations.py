@@ -1,0 +1,179 @@
+"""Transaction programs for the engine: operations and transaction specs.
+
+The engine's transactions mirror the paper's straight-line model: a
+transaction is a fixed sequence of operations, each touching one key.
+Three operation kinds are supported:
+
+* ``READ`` — read a key into the transaction's local context;
+* ``WRITE`` — blind-write a computed value to a key;
+* ``UPDATE`` — read-modify-write: the new value is a function of the
+  values read so far (exactly the paper's general step
+  ``x_ij <- f_ij(t_i1, ..., t_ij)``).
+
+An ``UPDATE``'s transform receives a mapping of *all values the
+transaction has read so far* (keyed by the key name, latest read wins)
+and returns the new value for the operation's key.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class OperationKind(enum.Enum):
+    """The kind of a transaction operation."""
+
+    READ = "read"
+    WRITE = "write"
+    UPDATE = "update"
+
+
+#: An UPDATE transform: maps {key: value read so far} to the new value.
+Transform = Callable[[Mapping[str, Any]], Any]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of a transaction program.
+
+    Parameters
+    ----------
+    kind:
+        READ, WRITE or UPDATE.
+    key:
+        The key accessed.
+    transform:
+        For UPDATE: the function computing the new value from the reads
+        so far.  Ignored for READ; for WRITE it receives the same mapping
+        but conventionally ignores it (use :func:`write_op` to write a
+        constant).
+    """
+
+    kind: OperationKind
+    key: str
+    transform: Optional[Transform] = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (OperationKind.WRITE, OperationKind.UPDATE) and self.transform is None:
+            raise ValueError(f"{self.kind.value} operation on {self.key!r} needs a transform")
+
+    @property
+    def reads(self) -> bool:
+        """Whether the operation reads its key (READ and UPDATE do)."""
+        return self.kind in (OperationKind.READ, OperationKind.UPDATE)
+
+    @property
+    def writes(self) -> bool:
+        """Whether the operation writes its key (WRITE and UPDATE do)."""
+        return self.kind in (OperationKind.WRITE, OperationKind.UPDATE)
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.key})"
+
+
+def read_op(key: str) -> Operation:
+    """A pure read of ``key``."""
+    return Operation(OperationKind.READ, key)
+
+
+def write_op(key: str, value: Any) -> Operation:
+    """A blind write of a constant value to ``key``."""
+    return Operation(OperationKind.WRITE, key, transform=lambda _reads, _v=value: _v)
+
+
+def update_op(key: str, transform: Transform) -> Operation:
+    """A read-modify-write of ``key`` using ``transform``."""
+    return Operation(OperationKind.UPDATE, key, transform=transform)
+
+
+def increment_op(key: str, amount: Any = 1) -> Operation:
+    """A read-modify-write adding ``amount`` to ``key``."""
+    return update_op(key, lambda reads, _a=amount, _k=key: reads[_k] + _a)
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """A straight-line transaction program for the engine.
+
+    Parameters
+    ----------
+    operations:
+        The ordered operations.
+    name:
+        A descriptive label (appears in metrics and logs).
+    txn_id:
+        Optional externally assigned identifier; the executor assigns one
+        if absent.
+    """
+
+    operations: Tuple[Operation, ...]
+    name: str = "txn"
+    txn_id: Optional[int] = None
+
+    def __init__(
+        self,
+        operations: Iterable[Operation],
+        name: str = "txn",
+        txn_id: Optional[int] = None,
+    ) -> None:
+        object.__setattr__(self, "operations", tuple(operations))
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "txn_id", txn_id)
+        if not self.operations:
+            raise ValueError("a transaction spec needs at least one operation")
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def keys_read(self) -> Tuple[str, ...]:
+        return tuple(op.key for op in self.operations if op.reads)
+
+    def keys_written(self) -> Tuple[str, ...]:
+        return tuple(op.key for op in self.operations if op.writes)
+
+    def read_set(self) -> frozenset:
+        return frozenset(self.keys_read())
+
+    def write_set(self) -> frozenset:
+        return frozenset(self.keys_written())
+
+    def with_id(self, txn_id: int) -> "TransactionSpec":
+        """A copy with an assigned transaction identifier."""
+        return TransactionSpec(self.operations, name=self.name, txn_id=txn_id)
+
+
+def transfer_transaction(
+    source: str, target: str, amount: int, name: str = "transfer"
+) -> TransactionSpec:
+    """Move ``amount`` from ``source`` to ``target`` if funds suffice.
+
+    Mirrors the paper's T1: the debit and credit are both conditioned on
+    the balance read at the start, so the transfer is all-or-nothing.
+    """
+
+    def debit(reads: Mapping[str, Any]) -> Any:
+        return reads[source] - amount if reads[source] >= amount else reads[source]
+
+    def credit(reads: Mapping[str, Any]) -> Any:
+        return reads[target] + amount if reads[source] >= amount else reads[target]
+
+    return TransactionSpec(
+        [read_op(source), update_op(target, credit), update_op(source, debit)],
+        name=name,
+    )
+
+
+def audit_transaction(keys: Sequence[str], total_key: str, name: str = "audit") -> TransactionSpec:
+    """Read every key in ``keys`` and store their sum into ``total_key`` (the paper's T3)."""
+    operations: List[Operation] = [read_op(key) for key in keys]
+
+    def total(reads: Mapping[str, Any]) -> Any:
+        return sum(reads[key] for key in keys)
+
+    operations.append(update_op(total_key, total))
+    return TransactionSpec(operations, name=name)

@@ -1,0 +1,43 @@
+"""Online concurrency-control protocols.
+
+Each protocol implements the :class:`repro.engine.protocols.base.ConcurrencyControl`
+interface: requests arrive one at a time and are granted, blocked, or
+aborted.  Implemented protocols:
+
+* :class:`~repro.engine.protocols.base.SerialProtocol` — one transaction
+  at a time (the paper's "sure way to secure consistency", and its
+  minimum-information optimum).
+* :class:`~repro.engine.protocols.two_phase_locking.StrictTwoPhaseLocking`
+  — shared/exclusive locks held to commit, wait-for-graph deadlock
+  detection.
+* :class:`~repro.engine.protocols.sgt.SerializationGraphTesting` — grant
+  everything, maintain the conflict graph, abort on cycles.
+* :class:`~repro.engine.protocols.timestamp_ordering.TimestampOrdering` —
+  basic T/O with read/write timestamps.
+* :class:`~repro.engine.protocols.occ.OptimisticConcurrencyControl` —
+  read/validate/write phases with backward validation (Kung & Robinson).
+"""
+
+from repro.engine.protocols.base import (
+    ConcurrencyControl,
+    Decision,
+    DecisionKind,
+    SerialProtocol,
+    TransactionAborted,
+)
+from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
+from repro.engine.protocols.timestamp_ordering import TimestampOrdering
+from repro.engine.protocols.sgt import SerializationGraphTesting
+from repro.engine.protocols.occ import OptimisticConcurrencyControl
+
+__all__ = [
+    "ConcurrencyControl",
+    "Decision",
+    "DecisionKind",
+    "SerialProtocol",
+    "TransactionAborted",
+    "StrictTwoPhaseLocking",
+    "TimestampOrdering",
+    "SerializationGraphTesting",
+    "OptimisticConcurrencyControl",
+]

@@ -1,0 +1,338 @@
+"""The online concurrency-control protocol interface and the serial baseline.
+
+An online protocol receives one request at a time — ``read``, ``write``
+or ``commit`` — and answers with a :class:`Decision`:
+
+* ``GRANT`` — the request executes now (reads carry the value);
+* ``BLOCK`` — the request must wait; ``blocked_on`` names the
+  transactions it waits for, so the caller knows when to retry;
+* ``ABORT`` — the transaction must abort (and typically restart).
+
+All protocols buffer writes in a per-transaction private write set and
+apply them to the shared :class:`~repro.engine.storage.DataStore` only at
+commit, so aborting never leaves partial updates behind.  Reads see the
+transaction's own buffered writes first (read-your-writes), then the
+committed store.
+
+Every granted data operation is appended to :attr:`ConcurrencyControl.log`
+and every commit to :attr:`ConcurrencyControl.committed`; the test suite
+uses these to verify, protocol by protocol, that the committed projection
+of the produced history is conflict-serializable — the bridge back to the
+paper's theory.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.engine.storage import DataStore
+
+
+class TransactionAborted(RuntimeError):
+    """Raised by the executor when a transaction exceeds its restart budget."""
+
+    def __init__(self, txn_id: int, reason: str = "") -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class DecisionKind(enum.Enum):
+    """The three possible answers to an online request."""
+
+    GRANT = "grant"
+    BLOCK = "block"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The protocol's answer to one request."""
+
+    kind: DecisionKind
+    value: Any = None
+    blocked_on: Tuple[int, ...] = ()
+    reason: str = ""
+    #: GRANT-only: the operation is accepted but has no effect (e.g. a write
+    #: made obsolete by the Thomas write rule).  The base class then skips
+    #: buffering the write.
+    skip_effect: bool = False
+
+    @property
+    def granted(self) -> bool:
+        return self.kind is DecisionKind.GRANT
+
+    @property
+    def blocked(self) -> bool:
+        return self.kind is DecisionKind.BLOCK
+
+    @property
+    def aborted(self) -> bool:
+        return self.kind is DecisionKind.ABORT
+
+    @staticmethod
+    def grant(value: Any = None) -> "Decision":
+        return Decision(DecisionKind.GRANT, value=value)
+
+    @staticmethod
+    def block(blocked_on: Sequence[int] = (), reason: str = "") -> "Decision":
+        return Decision(DecisionKind.BLOCK, blocked_on=tuple(blocked_on), reason=reason)
+
+    @staticmethod
+    def abort(reason: str = "") -> "Decision":
+        return Decision(DecisionKind.ABORT, reason=reason)
+
+    @staticmethod
+    def grant_without_effect(reason: str = "") -> "Decision":
+        """Accept the request but apply no effect (Thomas write rule)."""
+        return Decision(DecisionKind.GRANT, reason=reason, skip_effect=True)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One granted data operation, for post-hoc serializability checking."""
+
+    sequence: int
+    txn_id: int
+    kind: str  # "read" or "write"
+    key: str
+
+
+class ConcurrencyControl(abc.ABC):
+    """Base class for online concurrency-control protocols."""
+
+    name = "abstract"
+
+    def __init__(self, store: DataStore) -> None:
+        self.store = store
+        self.log: List[LogRecord] = []
+        self.committed: Set[int] = set()
+        self.aborted: Set[int] = set()
+        self.active: Set[int] = set()
+        self.write_buffers: Dict[int, Dict[str, Any]] = {}
+        #: log-sequence position at which each committed transaction's buffered
+        #: writes were installed (writes take effect at commit, not at grant)
+        self.commit_positions: Dict[int, int] = {}
+        self.stats: Dict[str, int] = {
+            "reads_granted": 0,
+            "writes_granted": 0,
+            "blocks": 0,
+            "aborts": 0,
+            "commits": 0,
+        }
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, txn_id: int) -> None:
+        """Register a new transaction."""
+        if txn_id in self.active:
+            raise ValueError(f"transaction {txn_id} is already active")
+        self.active.add(txn_id)
+        self.write_buffers[txn_id] = {}
+        self.on_begin(txn_id)
+
+    def read(self, txn_id: int, key: str) -> Decision:
+        """Request to read ``key``."""
+        self._require_active(txn_id)
+        decision = self.on_read(txn_id, key)
+        if decision.granted:
+            value = self._buffered_or_committed(txn_id, key)
+            decision = Decision.grant(value)
+            self._record(txn_id, "read", key)
+            self.stats["reads_granted"] += 1
+        else:
+            self._count(decision)
+        return decision
+
+    def write(self, txn_id: int, key: str, value: Any) -> Decision:
+        """Request to write ``value`` to ``key`` (buffered until commit)."""
+        self._require_active(txn_id)
+        decision = self.on_write(txn_id, key, value)
+        if decision.granted:
+            if not decision.skip_effect:
+                self.write_buffers[txn_id][key] = value
+                self._record(txn_id, "write", key)
+            self.stats["writes_granted"] += 1
+        else:
+            self._count(decision)
+        return decision
+
+    def commit(self, txn_id: int) -> Decision:
+        """Request to commit; on GRANT the write buffer is applied atomically."""
+        self._require_active(txn_id)
+        decision = self.on_commit(txn_id)
+        if decision.granted:
+            self.store.apply_writes(self.write_buffers[txn_id], writer=txn_id)
+            self.commit_positions[txn_id] = self._sequence
+            self._sequence += 1
+            self.committed.add(txn_id)
+            self.active.discard(txn_id)
+            self.write_buffers.pop(txn_id, None)
+            self.stats["commits"] += 1
+            self.on_finished(txn_id)
+        else:
+            self._count(decision)
+        return decision
+
+    def abort(self, txn_id: int) -> None:
+        """Abort a transaction, discarding its buffered writes."""
+        if txn_id not in self.active:
+            return
+        self.active.discard(txn_id)
+        self.aborted.add(txn_id)
+        self.write_buffers.pop(txn_id, None)
+        self.on_abort(txn_id)
+        self.on_finished(txn_id)
+
+    # ------------------------------------------------------------------
+    # protocol-specific hooks
+    # ------------------------------------------------------------------
+    def on_begin(self, txn_id: int) -> None:  # pragma: no cover - default no-op
+        """Hook called when a transaction begins."""
+
+    @abc.abstractmethod
+    def on_read(self, txn_id: int, key: str) -> Decision:
+        """Decide a read request (value resolution is handled by the base class)."""
+
+    @abc.abstractmethod
+    def on_write(self, txn_id: int, key: str, value: Any) -> Decision:
+        """Decide a write request."""
+
+    def on_commit(self, txn_id: int) -> Decision:
+        """Decide a commit request (granted by default)."""
+        return Decision.grant()
+
+    def on_abort(self, txn_id: int) -> None:  # pragma: no cover - default no-op
+        """Hook called when a transaction aborts."""
+
+    def on_finished(self, txn_id: int) -> None:  # pragma: no cover - default no-op
+        """Hook called after a transaction leaves the system (commit or abort)."""
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _buffered_or_committed(self, txn_id: int, key: str) -> Any:
+        buffer = self.write_buffers.get(txn_id, {})
+        if key in buffer:
+            return buffer[key]
+        return self.store.read(key)
+
+    def _record(self, txn_id: int, kind: str, key: str) -> None:
+        self.log.append(LogRecord(self._sequence, txn_id, kind, key))
+        self._sequence += 1
+
+    def _count(self, decision: Decision) -> None:
+        if decision.blocked:
+            self.stats["blocks"] += 1
+        elif decision.aborted:
+            self.stats["aborts"] += 1
+
+    def _require_active(self, txn_id: int) -> None:
+        if txn_id not in self.active:
+            raise ValueError(f"transaction {txn_id} is not active")
+
+    def pending_writers(self, key: str, exclude: Optional[int] = None) -> List[int]:
+        """Active transactions holding an uncommitted buffered write to ``key``.
+
+        Because writes are deferred to commit, a concurrent reader would
+        otherwise observe the *committed* value even though the protocol's
+        conflict bookkeeping assumes it observed the pending one; protocols
+        that do not lock (SGT, T/O) therefore treat a pending write as a
+        barrier on the key.
+        """
+        return [
+            txn
+            for txn, buffer in self.write_buffers.items()
+            if key in buffer and txn != exclude and txn in self.active
+        ]
+
+    # ------------------------------------------------------------------
+    # post-hoc analysis
+    # ------------------------------------------------------------------
+    def committed_log(self) -> List[LogRecord]:
+        """The granted-operation log restricted to committed transactions."""
+        return [record for record in self.log if record.txn_id in self.committed]
+
+    def committed_conflict_graph(self):
+        """The conflict graph of the *actual* committed execution.
+
+        Writes are buffered and only reach the store at commit, so for
+        conflict purposes a committed transaction's writes happen at its
+        commit position, while its reads happen where they were granted.
+        The graph is built over those effective positions; acyclicity is
+        then equivalent to conflict serializability of what really ran.
+        """
+        from repro.util.graphs import DiGraph
+
+        events = []  # (position, txn_id, kind, key)
+        seen_writes = set()
+        for record in self.committed_log():
+            if record.kind == "read":
+                events.append((record.sequence, record.txn_id, "read", record.key))
+            else:
+                marker = (record.txn_id, record.key)
+                if marker in seen_writes:
+                    continue
+                position = self.commit_positions.get(record.txn_id, record.sequence)
+                events.append((position, record.txn_id, "write", record.key))
+                seen_writes.add(marker)
+        events.sort(key=lambda e: e[0])
+
+        graph = DiGraph()
+        for _, txn_id, _, _ in events:
+            graph.add_node(txn_id)
+        for i, (_, txn_a, kind_a, key_a) in enumerate(events):
+            for _, txn_b, kind_b, key_b in events[i + 1 :]:
+                if txn_a == txn_b or key_a != key_b:
+                    continue
+                if kind_a == "write" or kind_b == "write":
+                    graph.add_edge(txn_a, txn_b)
+        return graph
+
+    def committed_history_serializable(self) -> bool:
+        """Whether the committed projection of the history is conflict-serializable."""
+        return not self.committed_conflict_graph().has_cycle()
+
+
+class SerialProtocol(ConcurrencyControl):
+    """One transaction at a time: the paper's trivially correct baseline.
+
+    The first transaction to issue a data request becomes the *holder*;
+    every other transaction blocks until the holder commits or aborts.
+    Requires no information beyond a transaction identifier per request —
+    exactly the minimum-information scheduler of Theorem 2, in online
+    form.
+    """
+
+    name = "serial"
+
+    def __init__(self, store: DataStore) -> None:
+        super().__init__(store)
+        self._holder: Optional[int] = None
+
+    def _acquire(self, txn_id: int) -> Decision:
+        if self._holder is None:
+            self._holder = txn_id
+        if self._holder == txn_id:
+            return Decision.grant()
+        return Decision.block(blocked_on=(self._holder,), reason="serial execution")
+
+    def on_read(self, txn_id: int, key: str) -> Decision:
+        return self._acquire(txn_id)
+
+    def on_write(self, txn_id: int, key: str, value: Any) -> Decision:
+        return self._acquire(txn_id)
+
+    def on_commit(self, txn_id: int) -> Decision:
+        if self._holder not in (None, txn_id):
+            return Decision.block(blocked_on=(self._holder,), reason="serial execution")
+        return Decision.grant()
+
+    def on_finished(self, txn_id: int) -> None:
+        if self._holder == txn_id:
+            self._holder = None

@@ -1,0 +1,109 @@
+"""Optimistic concurrency control (Kung & Robinson style validation).
+
+Transactions run entirely against their private read/write sets (the
+*read phase*), then attempt to *validate* at commit: a committing
+transaction is checked against every transaction that committed since it
+started.  If any of those committed write sets intersects the validator's
+read set, the validator aborts and restarts; otherwise its writes are
+installed (the *write phase*).
+
+This is backward validation with the serial-validation simplification:
+validation + write phase are treated as a critical section, which is
+exactly the first algorithm of Kung & Robinson (1981) and is consistent
+with the paper's single centralized scheduler model (Section 6).  OCC is
+the natural protocol to include here because the same H. T. Kung proposed
+it as the non-locking alternative the optimality framework motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.engine.protocols.base import ConcurrencyControl, Decision
+from repro.engine.storage import DataStore
+
+
+@dataclass(frozen=True)
+class CommittedFootprint:
+    """The write set and commit sequence number of a committed transaction."""
+
+    txn_id: int
+    write_set: FrozenSet[str]
+    commit_number: int
+
+
+class OptimisticConcurrencyControl(ConcurrencyControl):
+    """Backward-validating OCC: read freely, validate read sets at commit."""
+
+    name = "occ"
+
+    def __init__(self, store: DataStore, history_limit: int = 10_000) -> None:
+        super().__init__(store)
+        #: start number of each active transaction = how many commits it has seen
+        self._start_number: Dict[int, int] = {}
+        self._read_sets: Dict[int, Set[str]] = {}
+        self._commit_number = 0
+        self._committed_footprints: List[CommittedFootprint] = []
+        self.history_limit = history_limit
+        self.validation_failures = 0
+
+    def on_begin(self, txn_id: int) -> None:
+        self._start_number[txn_id] = self._commit_number
+        self._read_sets[txn_id] = set()
+
+    # ------------------------------------------------------------------
+    # read phase: everything is granted
+    # ------------------------------------------------------------------
+    def on_read(self, txn_id: int, key: str) -> Decision:
+        self._read_sets[txn_id].add(key)
+        return Decision.grant()
+
+    def on_write(self, txn_id: int, key: str, value: Any) -> Decision:
+        return Decision.grant()
+
+    # ------------------------------------------------------------------
+    # validation + write phase
+    # ------------------------------------------------------------------
+    def on_commit(self, txn_id: int) -> Decision:
+        start = self._start_number[txn_id]
+        read_set = self._read_sets[txn_id]
+        for footprint in self._committed_footprints:
+            if footprint.commit_number <= start:
+                continue
+            overlap = footprint.write_set & read_set
+            if overlap:
+                self.validation_failures += 1
+                return Decision.abort(
+                    f"validation failed against T{footprint.txn_id} on {sorted(overlap)}"
+                )
+        # Validation succeeded: record the footprint; the base class installs
+        # the buffered writes right after this returns GRANT.
+        self._commit_number += 1
+        write_set = frozenset(self.write_buffers.get(txn_id, {}))
+        self._committed_footprints.append(
+            CommittedFootprint(txn_id, write_set, self._commit_number)
+        )
+        self._trim_history()
+        return Decision.grant()
+
+    def on_finished(self, txn_id: int) -> None:
+        self._start_number.pop(txn_id, None)
+        self._read_sets.pop(txn_id, None)
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+    def _trim_history(self) -> None:
+        """Drop footprints no active transaction could ever conflict with."""
+        if not self._start_number:
+            horizon = self._commit_number
+        else:
+            horizon = min(self._start_number.values())
+        self._committed_footprints = [
+            f for f in self._committed_footprints if f.commit_number > horizon
+        ][-self.history_limit :]
+
+    def active_read_set(self, txn_id: int) -> Set[str]:
+        """The read set accumulated so far by an active transaction."""
+        return set(self._read_sets.get(txn_id, set()))

@@ -1,0 +1,284 @@
+"""The untimed transaction executor.
+
+:class:`TransactionExecutor` runs a batch of
+:class:`~repro.engine.operations.TransactionSpec` concurrently (logically
+interleaved) under any online protocol, handling blocking, aborting and
+restarting, and reports what happened.  It is the engine's workhorse for
+correctness testing and for "how many requests had to wait / abort"
+counting; the timed view (arrivals, latencies) lives in
+:mod:`repro.engine.simulator`.
+
+Interleaving is controlled by ``interleaving``:
+
+* ``"round-robin"`` — each live transaction advances one operation per
+  round (the densest fair interleaving);
+* ``"random"`` — the next transaction to advance is drawn uniformly using
+  the supplied seed (matches the paper's "requests arrive in any order");
+* ``"serial"`` — each transaction runs to completion before the next
+  starts (the baseline of Section 1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.operations import Operation, OperationKind, TransactionSpec
+from repro.engine.protocols.base import ConcurrencyControl, Decision, TransactionAborted
+from repro.engine.storage import DataStore
+
+
+class ExecutionStuck(RuntimeError):
+    """Raised if no live transaction can make progress (should not happen)."""
+
+
+@dataclass
+class _Session:
+    """The executor's view of one submitted transaction (across restarts)."""
+
+    spec: TransactionSpec
+    session_id: int
+    txn_id: Optional[int] = None
+    op_index: int = 0
+    reads: Dict[str, Any] = field(default_factory=dict)
+    attempts: int = 0
+    committed: bool = False
+    given_up: bool = False
+    blocks: int = 0
+    operations_issued: int = 0
+    #: rounds to sit out after an abort (linear backoff breaks livelock
+    #: patterns where restarting transactions keep recreating the same
+    #: deadlock against each other)
+    cooldown: int = 0
+
+    def reset_for_restart(self) -> None:
+        self.txn_id = None
+        self.op_index = 0
+        self.reads = {}
+        self.cooldown = self.attempts
+
+
+@dataclass
+class ExecutionResult:
+    """What happened when a batch of transactions was executed."""
+
+    protocol_name: str
+    committed: int
+    aborted_attempts: int
+    restarts: int
+    gave_up: int
+    operations_issued: int
+    blocks: int
+    store_snapshot: Dict[str, Any]
+    committed_serializable: bool
+    per_transaction: Dict[str, Dict[str, int]]
+
+    @property
+    def total_submitted(self) -> int:
+        return self.committed + self.gave_up
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.committed + self.aborted_attempts
+        return self.aborted_attempts / attempts if attempts else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.protocol_name}: committed={self.committed} "
+            f"restarts={self.restarts} blocks={self.blocks} "
+            f"abort_rate={self.abort_rate:.2%} serializable={self.committed_serializable}"
+        )
+
+
+class TransactionExecutor:
+    """Run transaction programs concurrently under an online protocol."""
+
+    def __init__(
+        self,
+        protocol: ConcurrencyControl,
+        max_attempts: int = 50,
+        interleaving: str = "round-robin",
+        seed: Optional[int] = None,
+        max_concurrent: Optional[int] = None,
+    ) -> None:
+        if interleaving not in ("round-robin", "random", "serial"):
+            raise ValueError(
+                "interleaving must be 'round-robin', 'random' or 'serial'"
+            )
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ValueError("max_concurrent must be at least 1")
+        self.protocol = protocol
+        self.max_attempts = max_attempts
+        self.interleaving = interleaving
+        #: multiprogramming level: how many transactions may be in flight at
+        #: once (None = all submitted transactions run concurrently).
+        self.max_concurrent = max_concurrent
+        self.rng = random.Random(seed)
+        self._next_txn_id = 1
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[TransactionSpec]) -> ExecutionResult:
+        """Execute all specs to completion (commit or giving up) and report."""
+        sessions = [_Session(spec=spec, session_id=i) for i, spec in enumerate(specs)]
+        restarts = 0
+        aborted_attempts = 0
+
+        live = list(sessions)
+        while live:
+            progressed = False
+            admitted = (
+                live
+                if self.max_concurrent is None
+                else live[: self.max_concurrent]
+            )
+            order = self._ordering(admitted)
+            for session in order:
+                if session.committed or session.given_up:
+                    continue
+                if session.cooldown > 0:
+                    session.cooldown -= 1
+                    progressed = True
+                    continue
+                advanced, aborted = self._advance(session)
+                if aborted:
+                    aborted_attempts += 1
+                    if session.attempts >= self.max_attempts:
+                        session.given_up = True
+                    else:
+                        restarts += 1
+                        session.reset_for_restart()
+                if advanced or aborted:
+                    progressed = True
+                if self.interleaving == "serial" and not (
+                    session.committed or session.given_up
+                ):
+                    # keep driving the same transaction until it finishes
+                    while not (session.committed or session.given_up):
+                        advanced, aborted = self._advance(session)
+                        if aborted:
+                            aborted_attempts += 1
+                            if session.attempts >= self.max_attempts:
+                                session.given_up = True
+                            else:
+                                restarts += 1
+                                session.reset_for_restart()
+                        if not advanced and not aborted:
+                            break
+                    progressed = True
+            live = [s for s in sessions if not (s.committed or s.given_up)]
+            if live and not progressed:
+                raise ExecutionStuck(
+                    f"no progress with {len(live)} live transactions under "
+                    f"{self.protocol.name}"
+                )
+
+        per_transaction = {
+            f"{s.spec.name}#{s.session_id}": {
+                "attempts": s.attempts,
+                "blocks": s.blocks,
+                "operations": s.operations_issued,
+                "committed": int(s.committed),
+            }
+            for s in sessions
+        }
+        return ExecutionResult(
+            protocol_name=self.protocol.name,
+            committed=sum(1 for s in sessions if s.committed),
+            aborted_attempts=aborted_attempts,
+            restarts=restarts,
+            gave_up=sum(1 for s in sessions if s.given_up),
+            operations_issued=sum(s.operations_issued for s in sessions),
+            blocks=sum(s.blocks for s in sessions),
+            store_snapshot=self.protocol.store.snapshot(),
+            committed_serializable=self.protocol.committed_history_serializable(),
+            per_transaction=per_transaction,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ordering(self, live: List[_Session]) -> List[_Session]:
+        if self.interleaving == "random":
+            order = list(live)
+            self.rng.shuffle(order)
+            return order
+        return list(live)
+
+    def _advance(self, session: _Session) -> Tuple[bool, bool]:
+        """Advance a session by one protocol interaction.
+
+        Returns ``(progressed, aborted_this_attempt)``.
+        """
+        if session.txn_id is None:
+            session.txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            session.attempts += 1
+            self.protocol.begin(session.txn_id)
+            return True, False
+
+        txn_id = session.txn_id
+        if session.op_index >= len(session.spec):
+            decision = self.protocol.commit(txn_id)
+            if decision.granted:
+                session.committed = True
+                return True, False
+            if decision.blocked:
+                session.blocks += 1
+                return False, False
+            self.protocol.abort(txn_id)
+            return True, True
+
+        operation = session.spec.operations[session.op_index]
+        decision = self._issue(txn_id, operation, session)
+        session.operations_issued += 1
+        if decision.granted:
+            session.op_index += 1
+            return True, False
+        if decision.blocked:
+            session.blocks += 1
+            return False, False
+        self.protocol.abort(txn_id)
+        return True, True
+
+    def _issue(
+        self, txn_id: int, operation: Operation, session: _Session
+    ) -> Decision:
+        if operation.kind is OperationKind.READ:
+            decision = self.protocol.read(txn_id, operation.key)
+            if decision.granted:
+                session.reads[operation.key] = decision.value
+            return decision
+        if operation.kind is OperationKind.UPDATE:
+            decision = self.protocol.read(txn_id, operation.key)
+            if not decision.granted:
+                return decision
+            session.reads[operation.key] = decision.value
+            new_value = operation.transform(dict(session.reads))
+            return self.protocol.write(txn_id, operation.key, new_value)
+        # blind write
+        new_value = operation.transform(dict(session.reads))
+        return self.protocol.write(txn_id, operation.key, new_value)
+
+
+def run_batch(
+    protocol_factory,
+    store: DataStore,
+    specs: Sequence[TransactionSpec],
+    interleaving: str = "round-robin",
+    seed: Optional[int] = None,
+    max_attempts: int = 50,
+    max_concurrent: Optional[int] = None,
+) -> ExecutionResult:
+    """Convenience helper: build the protocol on ``store`` and run the batch."""
+    protocol = protocol_factory(store)
+    executor = TransactionExecutor(
+        protocol,
+        max_attempts=max_attempts,
+        interleaving=interleaving,
+        seed=seed,
+        max_concurrent=max_concurrent,
+    )
+    return executor.run(specs)

@@ -1,0 +1,331 @@
+"""A discrete-event multi-user simulator (the Section 6 environment).
+
+The paper's closing discussion models the life of a transaction step as
+three components: *scheduling time* (waiting for, and occupying, the
+single centralized scheduler), *waiting time* (delays the scheduler
+imposes so that consistency is preserved), and *execution time* (actually
+running the step).  This simulator realises that decomposition:
+
+* a fixed set of client terminals submit transactions drawn from a
+  workload, separated by exponentially distributed think times;
+* every request occupies the centralized scheduler for
+  ``scheduling_time`` time units (requests queue for the scheduler —
+  scheduling times of different users cannot overlap, as in the paper);
+* a granted data operation then takes ``execution_time`` units;
+* a blocked request waits and is retried after ``retry_interval`` (or as
+  soon as a transaction finishes, whichever comes first);
+* an aborted transaction restarts after ``abort_backoff``.
+
+The report gives throughput, mean response time, the mean latency
+breakdown per committed transaction, abort counts and the *delay-free
+fraction* — the empirical counterpart of the fixpoint-set probability
+``|P| / |H|`` of Section 6.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.operations import Operation, OperationKind, TransactionSpec
+from repro.engine.protocols.base import ConcurrencyControl, Decision
+from repro.engine.storage import DataStore
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of the discrete-event simulation."""
+
+    num_clients: int = 8
+    duration: float = 1_000.0
+    scheduling_time: float = 0.1
+    execution_time: float = 1.0
+    think_time: float = 2.0
+    retry_interval: float = 1.0
+    abort_backoff: float = 2.0
+    max_attempts: int = 50
+    seed: int = 0
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-transaction latency split into the paper's three components."""
+
+    scheduling: float = 0.0
+    waiting: float = 0.0
+    execution: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.scheduling + self.waiting + self.execution
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate results of one simulation run."""
+
+    protocol_name: str
+    duration: float
+    committed: int
+    aborts: int
+    blocks: int
+    operations: int
+    delay_free_transactions: int
+    mean_response_time: float
+    mean_breakdown: LatencyBreakdown
+    committed_serializable: bool
+    final_snapshot: Dict[str, Any]
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per unit time."""
+        return self.committed / self.duration if self.duration else 0.0
+
+    @property
+    def delay_free_fraction(self) -> float:
+        """Fraction of committed transactions that never waited or restarted."""
+        return self.delay_free_transactions / self.committed if self.committed else 0.0
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.committed + self.aborts
+        return self.aborts / attempts if attempts else 0.0
+
+    def summary(self) -> str:
+        b = self.mean_breakdown
+        return (
+            f"{self.protocol_name}: throughput={self.throughput:.3f}/u "
+            f"resp={self.mean_response_time:.2f} "
+            f"(sched={b.scheduling:.2f} wait={b.waiting:.2f} exec={b.execution:.2f}) "
+            f"delay-free={self.delay_free_fraction:.1%} abort-rate={self.abort_rate:.1%}"
+        )
+
+
+@dataclass
+class _ClientState:
+    """One terminal: its current transaction attempt and latency accounting."""
+
+    client_id: int
+    spec: Optional[TransactionSpec] = None
+    txn_id: Optional[int] = None
+    op_index: int = 0
+    reads: Dict[str, Any] = field(default_factory=dict)
+    attempts: int = 0
+    submit_time: float = 0.0
+    breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    ever_delayed: bool = False
+    wait_started: Optional[float] = None
+
+
+class Simulator:
+    """Drive an online protocol with timed, concurrently arriving requests."""
+
+    def __init__(
+        self,
+        protocol: ConcurrencyControl,
+        workload: Callable[[random.Random], TransactionSpec],
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.protocol = protocol
+        self.workload = workload
+        self.config = config or SimulationConfig()
+        self.rng = random.Random(self.config.seed)
+        self._events: List[Tuple[float, int, int]] = []  # (time, seq, client_id)
+        self._seq = 0
+        self._next_txn_id = 1
+        self._scheduler_free_at = 0.0
+        self.completed_breakdowns: List[LatencyBreakdown] = []
+        self.response_times: List[float] = []
+        self.delay_free = 0
+        self.aborts = 0
+        self.blocks = 0
+        self.operations = 0
+        self.committed = 0
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _schedule(self, time: float, client_id: int) -> None:
+        heapq.heappush(self._events, (time, self._seq, client_id))
+        self._seq += 1
+
+    def _think(self) -> float:
+        return self.rng.expovariate(1.0 / self.config.think_time) if self.config.think_time else 0.0
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationReport:
+        """Run the simulation for the configured duration and report."""
+        config = self.config
+        clients = [_ClientState(client_id=i) for i in range(config.num_clients)]
+        for client in clients:
+            self._schedule(self._think(), client.client_id)
+
+        while self._events:
+            time, _, client_id = heapq.heappop(self._events)
+            if time > config.duration:
+                break
+            client = clients[client_id]
+            next_time = self._step(client, time)
+            if next_time is not None:
+                self._schedule(next_time, client_id)
+
+        return SimulationReport(
+            protocol_name=self.protocol.name,
+            duration=config.duration,
+            committed=self.committed,
+            aborts=self.aborts,
+            blocks=self.blocks,
+            operations=self.operations,
+            delay_free_transactions=self.delay_free,
+            mean_response_time=(
+                sum(self.response_times) / len(self.response_times)
+                if self.response_times
+                else 0.0
+            ),
+            mean_breakdown=self._mean_breakdown(),
+            committed_serializable=self.protocol.committed_history_serializable(),
+            final_snapshot=self.protocol.store.snapshot(),
+        )
+
+    def _mean_breakdown(self) -> LatencyBreakdown:
+        if not self.completed_breakdowns:
+            return LatencyBreakdown()
+        n = len(self.completed_breakdowns)
+        return LatencyBreakdown(
+            scheduling=sum(b.scheduling for b in self.completed_breakdowns) / n,
+            waiting=sum(b.waiting for b in self.completed_breakdowns) / n,
+            execution=sum(b.execution for b in self.completed_breakdowns) / n,
+        )
+
+    # ------------------------------------------------------------------
+    # per-client progression
+    # ------------------------------------------------------------------
+    def _step(self, client: _ClientState, now: float) -> Optional[float]:
+        """Advance one client at simulated time ``now``; return its next event time."""
+        config = self.config
+
+        if client.spec is None:
+            client.spec = self.workload(self.rng)
+            client.txn_id = None
+            client.op_index = 0
+            client.reads = {}
+            client.attempts = 0
+            client.submit_time = now
+            client.breakdown = LatencyBreakdown()
+            client.ever_delayed = False
+            client.wait_started = None
+
+        if client.txn_id is None:
+            client.txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            client.attempts += 1
+            self.protocol.begin(client.txn_id)
+            return now
+
+        # account waiting time accrued since the last blocked attempt
+        if client.wait_started is not None:
+            client.breakdown.waiting += now - client.wait_started
+            client.wait_started = None
+
+        # occupy the centralized scheduler (a single shared resource)
+        start = max(now, self._scheduler_free_at)
+        queueing = start - now
+        decision_time = start + config.scheduling_time
+        self._scheduler_free_at = decision_time
+        client.breakdown.scheduling += queueing + config.scheduling_time
+
+        if client.op_index >= len(client.spec):
+            decision = self.protocol.commit(client.txn_id)
+            return self._after_commit(client, decision, decision_time)
+
+        operation = client.spec.operations[client.op_index]
+        decision = self._issue(client, operation)
+        self.operations += 1
+        return self._after_operation(client, decision, decision_time)
+
+    def _issue(self, client: _ClientState, operation: Operation) -> Decision:
+        txn_id = client.txn_id
+        if operation.kind is OperationKind.READ:
+            decision = self.protocol.read(txn_id, operation.key)
+            if decision.granted:
+                client.reads[operation.key] = decision.value
+            return decision
+        if operation.kind is OperationKind.UPDATE:
+            decision = self.protocol.read(txn_id, operation.key)
+            if not decision.granted:
+                return decision
+            client.reads[operation.key] = decision.value
+            value = operation.transform(dict(client.reads))
+            return self.protocol.write(txn_id, operation.key, value)
+        value = operation.transform(dict(client.reads))
+        return self.protocol.write(txn_id, operation.key, value)
+
+    def _after_operation(
+        self, client: _ClientState, decision: Decision, decision_time: float
+    ) -> float:
+        config = self.config
+        if decision.granted:
+            client.op_index += 1
+            client.breakdown.execution += config.execution_time
+            return decision_time + config.execution_time
+        if decision.blocked:
+            self.blocks += 1
+            client.ever_delayed = True
+            client.wait_started = decision_time
+            return decision_time + config.retry_interval
+        return self._abort_and_restart(client, decision_time)
+
+    def _after_commit(
+        self, client: _ClientState, decision: Decision, decision_time: float
+    ) -> float:
+        config = self.config
+        if decision.granted:
+            self.committed += 1
+            if not client.ever_delayed and client.attempts == 1:
+                self.delay_free += 1
+            self.response_times.append(decision_time - client.submit_time)
+            self.completed_breakdowns.append(client.breakdown)
+            client.spec = None
+            return decision_time + self._think()
+        if decision.blocked:
+            self.blocks += 1
+            client.ever_delayed = True
+            client.wait_started = decision_time
+            return decision_time + config.retry_interval
+        return self._abort_and_restart(client, decision_time)
+
+    def _abort_and_restart(self, client: _ClientState, decision_time: float) -> float:
+        config = self.config
+        self.aborts += 1
+        client.ever_delayed = True
+        self.protocol.abort(client.txn_id)
+        if client.attempts >= config.max_attempts:
+            # give up on this transaction and move on to a new one
+            client.spec = None
+            return decision_time + self._think()
+        client.txn_id = None
+        client.op_index = 0
+        client.reads = {}
+        client.wait_started = decision_time
+        return decision_time + config.abort_backoff
+
+
+def compare_protocols(
+    protocol_factories: Dict[str, Callable[[DataStore], ConcurrencyControl]],
+    initial_data: Dict[str, Any],
+    workload: Callable[[random.Random], TransactionSpec],
+    config: Optional[SimulationConfig] = None,
+) -> Dict[str, SimulationReport]:
+    """Run the same workload/config under several protocols on identical stores."""
+    reports: Dict[str, SimulationReport] = {}
+    for name, factory in protocol_factories.items():
+        store = DataStore(initial_data)
+        protocol = factory(store)
+        simulator = Simulator(protocol, workload, config)
+        reports[name] = simulator.run()
+    return reports

@@ -1,0 +1,106 @@
+"""A small versioned key-value store used as the engine's database.
+
+The store keeps, per key, the committed value plus a monotonically
+increasing version counter and the identifier of the last committing
+writer.  Versions are what optimistic validation and timestamp ordering
+need; the extra bookkeeping is cheap and harmless for the locking
+protocols.
+
+The store itself performs no concurrency control: that is the protocols'
+job.  It does provide *buffered writes* (per-transaction private write
+sets applied atomically at commit), which all the implemented protocols
+use so that aborts never leave partial updates behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+
+class StorageError(KeyError):
+    """Raised when a key is accessed that was never initialised."""
+
+
+@dataclass(frozen=True)
+class Version:
+    """A committed version of a key: value, version number and writer id."""
+
+    value: Any
+    version: int
+    writer: Optional[int] = None
+
+
+class DataStore:
+    """An in-memory, versioned key-value store.
+
+    Parameters
+    ----------
+    initial:
+        Initial key/value contents; every key a workload touches must be
+        initialised here (reads of unknown keys raise
+        :class:`StorageError`, which catches workload bugs early).
+    """
+
+    def __init__(self, initial: Optional[Mapping[str, Any]] = None) -> None:
+        self._data: Dict[str, Version] = {}
+        if initial:
+            for key, value in initial.items():
+                self._data[key] = Version(value=value, version=0, writer=None)
+
+    # ------------------------------------------------------------------
+    # committed state
+    # ------------------------------------------------------------------
+    def read(self, key: str) -> Any:
+        """The committed value of ``key``."""
+        return self.read_version(key).value
+
+    def read_version(self, key: str) -> Version:
+        """The committed :class:`Version` of ``key``."""
+        if key not in self._data:
+            raise StorageError(f"key {key!r} was never initialised")
+        return self._data[key]
+
+    def version_number(self, key: str) -> int:
+        return self.read_version(key).version
+
+    def write(self, key: str, value: Any, writer: Optional[int] = None) -> Version:
+        """Install a new committed version of ``key`` and return it."""
+        current = self._data.get(key)
+        next_version = (current.version + 1) if current is not None else 0
+        version = Version(value=value, version=next_version, writer=writer)
+        self._data[key] = version
+        return version
+
+    def apply_writes(
+        self, writes: Mapping[str, Any], writer: Optional[int] = None
+    ) -> None:
+        """Atomically install a transaction's buffered write set."""
+        for key, value in writes.items():
+            self.write(key, value, writer=writer)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain dict copy of the committed values (for assertions and metrics)."""
+        return {key: version.value for key, version in self._data.items()}
+
+    def total_versions_written(self) -> int:
+        """Sum of version numbers — a cheap proxy for total committed writes."""
+        return sum(version.version for version in self._data.values())
+
+    def copy(self) -> "DataStore":
+        """An independent copy of the store (used to run baselines on equal footing)."""
+        clone = DataStore()
+        clone._data = dict(self._data)
+        return clone

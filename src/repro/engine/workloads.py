@@ -1,0 +1,285 @@
+"""Workload generators for the engine and the simulator.
+
+Each generator has two forms:
+
+* ``*_workload(...)`` returns ``(initial_data, specs)`` — a concrete batch
+  of :class:`~repro.engine.operations.TransactionSpec` for the untimed
+  executor;
+* ``*_generator(...)`` returns ``(initial_data, generator)`` where
+  ``generator(rng)`` produces one fresh transaction per call — the form
+  the discrete-event :class:`~repro.engine.simulator.Simulator` consumes.
+
+The banking workload reproduces the Section 2 example at scale: transfers
+between accounts conditioned on sufficient funds, withdrawals that bump an
+audit counter, and audit transactions that recompute the running total —
+so the integrity constraint ``sum(accounts) + withdrawn == initial total``
+can be asserted after any serializable execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.operations import (
+    Operation,
+    TransactionSpec,
+    read_op,
+    update_op,
+    write_op,
+)
+
+#: A workload generator: draws one transaction using the supplied RNG.
+TransactionGenerator = Callable[[random.Random], TransactionSpec]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters shared by the synthetic workloads."""
+
+    num_keys: int = 64
+    operations_per_transaction: int = 4
+    read_fraction: float = 0.5
+    hotspot_fraction: float = 0.1
+    hotspot_probability: float = 0.75
+    zipf_theta: float = 0.9
+    initial_value: int = 100
+    seed: int = 0
+
+    def key_names(self) -> List[str]:
+        return [f"k{i}" for i in range(self.num_keys)]
+
+    def initial_data(self) -> Dict[str, int]:
+        return {name: self.initial_value for name in self.key_names()}
+
+
+# ----------------------------------------------------------------------
+# banking (the Section 2 example, scaled up)
+# ----------------------------------------------------------------------
+
+
+def banking_initial_data(num_accounts: int = 16, balance: int = 100) -> Dict[str, int]:
+    """Account balances plus the audit total ``S`` and withdrawal counter ``C``."""
+    data = {f"acct{i}": balance for i in range(num_accounts)}
+    data["S"] = balance * num_accounts
+    data["C"] = 0
+    return data
+
+
+def banking_transfer(source: str, target: str, amount: int) -> TransactionSpec:
+    """Transfer ``amount`` from ``source`` to ``target`` if funds suffice (paper's T1)."""
+
+    def credit(reads: Dict[str, Any]) -> Any:
+        return reads[target] + amount if reads[source] >= amount else reads[target]
+
+    def debit(reads: Dict[str, Any]) -> Any:
+        return reads[source] - amount if reads[source] >= amount else reads[source]
+
+    return TransactionSpec(
+        [read_op(source), update_op(target, credit), update_op(source, debit)],
+        name="transfer",
+    )
+
+
+def banking_withdraw(account: str, amount: int) -> TransactionSpec:
+    """Withdraw ``amount`` from ``account`` (if funded) and bump the counter (paper's T2)."""
+
+    def debit(reads: Dict[str, Any]) -> Any:
+        return reads[account] - amount if reads[account] >= amount else reads[account]
+
+    def bump(reads: Dict[str, Any]) -> Any:
+        return reads["C"] + 1 if reads[account] >= amount else reads["C"]
+
+    return TransactionSpec(
+        [update_op(account, debit), update_op("C", bump)], name="withdraw"
+    )
+
+
+def banking_audit(num_accounts: int) -> TransactionSpec:
+    """Recompute the audit total over all accounts and reset the counter (paper's T3)."""
+    accounts = [f"acct{i}" for i in range(num_accounts)]
+    operations: List[Operation] = [read_op(a) for a in accounts]
+
+    def total(reads: Dict[str, Any]) -> Any:
+        return sum(reads[a] for a in accounts)
+
+    operations.append(update_op("S", total))
+    operations.append(write_op("C", 0))
+    return TransactionSpec(operations, name="audit")
+
+
+def banking_generator(
+    num_accounts: int = 16,
+    transfer_amount: int = 10,
+    withdraw_amount: int = 5,
+    audit_probability: float = 0.1,
+    withdraw_probability: float = 0.3,
+) -> Tuple[Dict[str, int], TransactionGenerator]:
+    """The banking workload in generator form (for the simulator)."""
+    initial = banking_initial_data(num_accounts)
+
+    def generate(rng: random.Random) -> TransactionSpec:
+        roll = rng.random()
+        if roll < audit_probability:
+            return banking_audit(num_accounts)
+        if roll < audit_probability + withdraw_probability:
+            account = f"acct{rng.randrange(num_accounts)}"
+            return banking_withdraw(account, withdraw_amount)
+        source = rng.randrange(num_accounts)
+        target = rng.randrange(num_accounts)
+        while target == source:
+            target = rng.randrange(num_accounts)
+        return banking_transfer(f"acct{source}", f"acct{target}", transfer_amount)
+
+    return initial, generate
+
+
+def banking_workload(
+    num_accounts: int = 16,
+    num_transactions: int = 50,
+    seed: int = 0,
+    **kwargs,
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """A concrete batch of banking transactions (for the untimed executor)."""
+    initial, generate = banking_generator(num_accounts, **kwargs)
+    rng = random.Random(seed)
+    return initial, [generate(rng) for _ in range(num_transactions)]
+
+
+# ----------------------------------------------------------------------
+# synthetic read/write mixes
+# ----------------------------------------------------------------------
+
+
+def _mixed_transaction(
+    rng: random.Random,
+    config: WorkloadConfig,
+    choose_key: Callable[[random.Random], str],
+    name: str,
+) -> TransactionSpec:
+    operations: List[Operation] = []
+    for _ in range(config.operations_per_transaction):
+        key = choose_key(rng)
+        if rng.random() < config.read_fraction:
+            operations.append(read_op(key))
+        else:
+            operations.append(
+                update_op(key, lambda reads, _k=key: reads[_k] + 1)
+            )
+    return TransactionSpec(operations, name=name)
+
+
+def uniform_generator(
+    config: Optional[WorkloadConfig] = None,
+) -> Tuple[Dict[str, int], TransactionGenerator]:
+    """Uniformly random key choice."""
+    config = config or WorkloadConfig()
+    keys = config.key_names()
+
+    def choose(rng: random.Random) -> str:
+        return keys[rng.randrange(len(keys))]
+
+    return config.initial_data(), lambda rng: _mixed_transaction(
+        rng, config, choose, "uniform"
+    )
+
+
+def hotspot_generator(
+    config: Optional[WorkloadConfig] = None,
+) -> Tuple[Dict[str, int], TransactionGenerator]:
+    """A small hot set of keys receives most of the accesses."""
+    config = config or WorkloadConfig()
+    keys = config.key_names()
+    hot_count = max(1, int(len(keys) * config.hotspot_fraction))
+    hot, cold = keys[:hot_count], keys[hot_count:] or keys[:1]
+
+    def choose(rng: random.Random) -> str:
+        pool = hot if rng.random() < config.hotspot_probability else cold
+        return pool[rng.randrange(len(pool))]
+
+    return config.initial_data(), lambda rng: _mixed_transaction(
+        rng, config, choose, "hotspot"
+    )
+
+
+def zipfian_generator(
+    config: Optional[WorkloadConfig] = None,
+) -> Tuple[Dict[str, int], TransactionGenerator]:
+    """Zipf-distributed key popularity with parameter ``zipf_theta``."""
+    config = config or WorkloadConfig()
+    keys = config.key_names()
+    weights = [1.0 / ((rank + 1) ** config.zipf_theta) for rank in range(len(keys))]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def choose(rng: random.Random) -> str:
+        u = rng.random()
+        for index, threshold in enumerate(cumulative):
+            if u <= threshold:
+                return keys[index]
+        return keys[-1]
+
+    return config.initial_data(), lambda rng: _mixed_transaction(
+        rng, config, choose, "zipfian"
+    )
+
+
+def readonly_heavy_generator(
+    config: Optional[WorkloadConfig] = None,
+) -> Tuple[Dict[str, int], TransactionGenerator]:
+    """A 95%-read variant of the uniform workload."""
+    config = config or WorkloadConfig()
+    biased = WorkloadConfig(
+        num_keys=config.num_keys,
+        operations_per_transaction=config.operations_per_transaction,
+        read_fraction=0.95,
+        hotspot_fraction=config.hotspot_fraction,
+        hotspot_probability=config.hotspot_probability,
+        zipf_theta=config.zipf_theta,
+        initial_value=config.initial_value,
+        seed=config.seed,
+    )
+    return uniform_generator(biased)
+
+
+def _materialise(
+    generator_pair: Tuple[Dict[str, int], TransactionGenerator],
+    num_transactions: int,
+    seed: int,
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    initial, generate = generator_pair
+    rng = random.Random(seed)
+    return initial, [generate(rng) for _ in range(num_transactions)]
+
+
+def uniform_workload(
+    num_transactions: int = 50, config: Optional[WorkloadConfig] = None, seed: int = 0
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """A concrete batch of uniform-mix transactions."""
+    return _materialise(uniform_generator(config), num_transactions, seed)
+
+
+def hotspot_workload(
+    num_transactions: int = 50, config: Optional[WorkloadConfig] = None, seed: int = 0
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """A concrete batch of hotspot-mix transactions."""
+    return _materialise(hotspot_generator(config), num_transactions, seed)
+
+
+def zipfian_workload(
+    num_transactions: int = 50, config: Optional[WorkloadConfig] = None, seed: int = 0
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """A concrete batch of zipfian-mix transactions."""
+    return _materialise(zipfian_generator(config), num_transactions, seed)
+
+
+def readonly_heavy_workload(
+    num_transactions: int = 50, config: Optional[WorkloadConfig] = None, seed: int = 0
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """A concrete batch of read-heavy transactions."""
+    return _materialise(readonly_heavy_generator(config), num_transactions, seed)

@@ -1,0 +1,5 @@
+"""Small shared utilities (graphs, statistics helpers) used across subpackages."""
+
+from repro.util.graphs import DiGraph, WaitForGraph
+
+__all__ = ["DiGraph", "WaitForGraph"]

@@ -1,0 +1,88 @@
+"""Shared fixtures: the paper's example systems and a few synthetic ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.examples import (
+    banking_system,
+    counter_pair_system,
+    figure1_history,
+    figure1_system,
+    figure2_system,
+    figure2_transaction,
+)
+from repro.core.instance import SystemInstance
+from repro.core.semantics import IntegrityConstraint, Interpretation
+from repro.core.transactions import (
+    StepRef,
+    Transaction,
+    TransactionSystem,
+    make_system,
+    update_step,
+)
+
+
+@pytest.fixture
+def figure1():
+    """The Figure 1 instance (x+1 / 2x vs x+1) with several consistent states."""
+    return figure1_system()
+
+
+@pytest.fixture
+def figure1_h():
+    """The non-serializable but weakly serializable history (T11, T21, T12)."""
+    return figure1_history()
+
+
+@pytest.fixture
+def banking():
+    """The Section 2 banking instance."""
+    return banking_system()
+
+
+@pytest.fixture
+def fig2_system():
+    """The Figure 2 transaction (x, y, x, z) paired with a partner (x, y)."""
+    return figure2_system()
+
+
+@pytest.fixture
+def counter_pair():
+    """Two transactions locking x, y in opposite orders (Figure 3 shape)."""
+    return counter_pair_system()
+
+
+@pytest.fixture
+def two_counter_instance():
+    """Two increment transactions on a shared counter with constraint x >= 0.
+
+    T1: x <- x + 1 ; x <- x - 1          (a balanced update)
+    T2: x <- 2x                          (a doubling)
+    Integrity constraint: x == 0, initial x = 0 (the Theorem 2 shape).
+    """
+    t1 = Transaction([update_step("x"), update_step("x")], name="T1")
+    t2 = Transaction([update_step("x")], name="T2")
+    system = TransactionSystem([t1, t2], name="theorem2-shape")
+    interpretation = Interpretation(
+        system=system,
+        step_functions={
+            StepRef(1, 1): lambda t: t + 1,
+            StepRef(1, 2): lambda t1, t2: t2 - 1,
+            StepRef(2, 1): lambda t: 2 * t,
+        },
+        initial_globals={"x": 0},
+    )
+    constraint = IntegrityConstraint(lambda g: g["x"] == 0, "x = 0")
+    return SystemInstance(
+        system=system,
+        interpretation=interpretation,
+        constraint=constraint,
+        consistent_states=({"x": 0},),
+    )
+
+
+@pytest.fixture
+def simple_rw_system():
+    """A plain two-transaction read-modify-write system on two variables."""
+    return make_system(["x", "y"], ["y", "x"], name="simple-rw")

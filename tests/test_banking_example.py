@@ -1,0 +1,117 @@
+"""Experiment E1: the Section 2 banking example, end to end."""
+
+import pytest
+
+from repro.core.examples import (
+    banking_constraint,
+    banking_interpretation,
+    banking_system,
+    banking_transaction_system,
+)
+from repro.core.schedules import (
+    all_serial_schedules,
+    count_schedules,
+    schedule_from_pairs,
+    serial_schedule,
+)
+from repro.core.semantics import execute_schedule, execute_serial, final_globals
+from repro.core.schedulers import SerialScheduler, SerializationScheduler
+from repro.core.serializability import is_conflict_serializable, is_serializable
+
+
+class TestBankingSyntax:
+    def test_format_is_3_2_4(self):
+        assert banking_transaction_system().format == (3, 2, 4)
+
+    def test_number_of_histories(self, banking):
+        # |H| = 9! / (3! 2! 4!) = 1260
+        assert count_schedules(banking.system) == 1260
+
+
+class TestBankingSemantics:
+    def test_paper_initial_state(self, banking):
+        assert dict(banking.interpretation.initial_globals) == {
+            "A": 150,
+            "B": 50,
+            "S": 200,
+            "C": 0,
+        }
+        assert banking.constraint.holds(banking.interpretation.initial_globals)
+
+    def test_transfer_executes_when_funded_and_b_below_100(self, banking):
+        final = execute_serial(banking.system, banking.interpretation, [1, 2, 3]).globals_
+        # T1 moves 100 A->B, T2 withdraws 50 from B and bumps C, T3 audits.
+        assert final["A"] == 50
+        assert final["B"] == 100
+        assert final["C"] == 0  # audit reset the counter
+        assert final["S"] == final["A"] + final["B"]
+
+    def test_transfer_skipped_when_b_already_rich(self):
+        system = banking_transaction_system()
+        interp = banking_interpretation(system, {"A": 150, "B": 120, "S": 270, "C": 0})
+        final = execute_serial(system, interp, [1], allow_repetitions=True).globals_
+        assert final["A"] == 150 and final["B"] == 120
+
+    def test_withdraw_skipped_when_underfunded(self):
+        system = banking_transaction_system()
+        interp = banking_interpretation(system, {"A": 200, "B": 20, "S": 220, "C": 0})
+        final = execute_serial(system, interp, [2], allow_repetitions=True).globals_
+        assert final["B"] == 20 and final["C"] == 0
+
+    def test_every_serial_order_preserves_the_invariant(self, banking):
+        for order_schedule in all_serial_schedules(banking.system):
+            final = final_globals(
+                banking.system, banking.interpretation, order_schedule
+            )
+            assert banking.constraint.holds(final), final
+
+    def test_paper_intermediate_state_reachable(self, banking):
+        # The paper lists state ((2,2,4), ..., (150, 0, 150, 0)): B decreased,
+        # S recomputed, C not yet reset.  Reach it by T2,1 then T3,1..3 then T1,1.
+        prefix = schedule_from_pairs([(2, 1), (3, 1), (3, 2), (3, 3), (1, 1)])
+        state = execute_schedule(banking.system, banking.interpretation, prefix)
+        assert state.globals_ == {"A": 150, "B": 0, "S": 150, "C": 0}
+
+
+class TestBankingAnomalies:
+    def test_lost_audit_interleaving_is_incorrect(self, banking):
+        # Audit reads A and B, then the transfer runs completely, then the audit
+        # writes a stale sum S and resets C: the invariant still holds only if
+        # the interleaving is serializable; this one is and stays correct.
+        history = schedule_from_pairs(
+            [(3, 1), (3, 2), (1, 1), (1, 2), (1, 3), (3, 3), (3, 4), (2, 1), (2, 2)]
+        )
+        final = final_globals(banking.system, banking.interpretation, history)
+        # A+B changed by the transfer between audit's reads and its write of S,
+        # but the transfer conserves A+B, so S is still consistent and the
+        # interleaving is in fact conflict-equivalent to T3; T1; T2.
+        assert banking.constraint.holds(final)
+        assert is_conflict_serializable(banking.system, history)
+
+    def test_withdraw_between_audit_read_and_write_breaks_invariant(self, banking):
+        # Audit reads A and B, then the withdrawal commits (B -= 50, C += 1),
+        # then the audit overwrites S with the stale sum and resets C to 0:
+        # now A + B = S - 100, violating the constraint.
+        history = schedule_from_pairs(
+            [(3, 1), (3, 2), (2, 1), (2, 2), (3, 3), (3, 4), (1, 1), (1, 2), (1, 3)]
+        )
+        final = final_globals(banking.system, banking.interpretation, history)
+        assert not banking.constraint.holds(final)
+        assert not banking.is_correct_schedule(history)
+        assert not is_serializable(banking.system, history)
+
+    def test_correct_schedules_form_a_strict_subset_of_H(self, banking):
+        correct = banking.correct_schedules()
+        assert 6 <= len(correct) < count_schedules(banking.system)
+
+    def test_serializable_schedules_are_correct_on_banking(self, banking):
+        scheduler = SerializationScheduler(banking)
+        for history in scheduler.fixpoint_set():
+            assert banking.is_correct_schedule(history)
+
+    def test_serial_scheduler_rewrites_bad_history(self, banking):
+        bad = schedule_from_pairs(
+            [(3, 1), (3, 2), (2, 1), (2, 2), (3, 3), (3, 4), (1, 1), (1, 2), (1, 3)]
+        )
+        produced = SerialScheduler(banking).schedule(bad)
+        assert banking.is_correct_schedule(produced)

@@ -1,0 +1,72 @@
+"""Unit tests for engine operations and transaction specs."""
+
+import pytest
+
+from repro.engine.operations import (
+    Operation,
+    OperationKind,
+    TransactionSpec,
+    audit_transaction,
+    increment_op,
+    read_op,
+    transfer_transaction,
+    update_op,
+    write_op,
+)
+
+
+class TestOperations:
+    def test_read_op_properties(self):
+        op = read_op("x")
+        assert op.kind is OperationKind.READ
+        assert op.reads and not op.writes
+        assert str(op) == "read(x)"
+
+    def test_write_op_ignores_reads(self):
+        op = write_op("x", 7)
+        assert op.writes and not op.reads
+        assert op.transform({"anything": 1}) == 7
+
+    def test_update_op_uses_reads(self):
+        op = update_op("x", lambda reads: reads["x"] * 2)
+        assert op.reads and op.writes
+        assert op.transform({"x": 21}) == 42
+
+    def test_increment_op(self):
+        op = increment_op("x", 5)
+        assert op.transform({"x": 1}) == 6
+
+    def test_write_like_ops_require_transform(self):
+        with pytest.raises(ValueError):
+            Operation(OperationKind.UPDATE, "x")
+
+
+class TestTransactionSpec:
+    def test_requires_operations(self):
+        with pytest.raises(ValueError):
+            TransactionSpec([])
+
+    def test_read_and_write_sets(self):
+        spec = TransactionSpec([read_op("a"), update_op("b", lambda r: 1), write_op("c", 2)])
+        assert spec.read_set() == {"a", "b"}
+        assert spec.write_set() == {"b", "c"}
+        assert len(spec) == 3
+
+    def test_with_id(self):
+        spec = TransactionSpec([read_op("a")], name="t")
+        assert spec.with_id(7).txn_id == 7
+        assert spec.txn_id is None
+
+    def test_transfer_transaction_is_conditional(self):
+        spec = transfer_transaction("A", "B", 100)
+        credit = spec.operations[1].transform
+        debit = spec.operations[2].transform
+        rich = {"A": 150, "B": 50}
+        poor = {"A": 50, "B": 50}
+        assert credit(rich) == 150 and debit(rich) == 50
+        assert credit(poor) == 50 and debit(poor) == 50
+
+    def test_audit_transaction_totals_keys(self):
+        spec = audit_transaction(["a", "b"], "total")
+        assert spec.operations[-1].transform({"a": 2, "b": 3}) == 5
+        assert spec.keys_read() == ("a", "b", "total")

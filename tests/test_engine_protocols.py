@@ -1,0 +1,282 @@
+"""Protocol-level unit tests: hand-driven request sequences per protocol."""
+
+import pytest
+
+from repro.engine.protocols.base import Decision, DecisionKind, SerialProtocol
+from repro.engine.protocols.occ import OptimisticConcurrencyControl
+from repro.engine.protocols.sgt import SerializationGraphTesting
+from repro.engine.protocols.timestamp_ordering import TimestampOrdering
+from repro.engine.protocols.two_phase_locking import LockMode, StrictTwoPhaseLocking
+from repro.engine.storage import DataStore
+
+
+@pytest.fixture
+def store():
+    return DataStore({"x": 0, "y": 0})
+
+
+class TestDecision:
+    def test_constructors(self):
+        assert Decision.grant(5).granted and Decision.grant(5).value == 5
+        assert Decision.block((1,)).blocked and Decision.block((1,)).blocked_on == (1,)
+        assert Decision.abort("why").aborted and Decision.abort("why").reason == "why"
+        assert Decision.grant_without_effect().skip_effect
+
+
+class TestBaseMechanics:
+    def test_writes_are_buffered_until_commit(self, store):
+        protocol = SerialProtocol(store)
+        protocol.begin(1)
+        protocol.write(1, "x", 99)
+        assert store.read("x") == 0
+        protocol.commit(1)
+        assert store.read("x") == 99
+
+    def test_read_your_own_writes(self, store):
+        protocol = SerialProtocol(store)
+        protocol.begin(1)
+        protocol.write(1, "x", 5)
+        assert protocol.read(1, "x").value == 5
+
+    def test_abort_discards_buffer(self, store):
+        protocol = SerialProtocol(store)
+        protocol.begin(1)
+        protocol.write(1, "x", 5)
+        protocol.abort(1)
+        assert store.read("x") == 0
+        assert 1 in protocol.aborted
+
+    def test_operations_on_inactive_transaction_rejected(self, store):
+        protocol = SerialProtocol(store)
+        with pytest.raises(ValueError):
+            protocol.read(1, "x")
+        protocol.begin(1)
+        with pytest.raises(ValueError):
+            protocol.begin(1)
+
+    def test_committed_log_and_conflict_graph(self, store):
+        protocol = SerialProtocol(store)
+        protocol.begin(1)
+        protocol.write(1, "x", 1)
+        protocol.commit(1)
+        protocol.begin(2)
+        protocol.read(2, "x")
+        protocol.commit(2)
+        graph = protocol.committed_conflict_graph()
+        assert graph.has_edge(1, 2)
+        assert protocol.committed_history_serializable()
+
+
+class TestSerialProtocol:
+    def test_second_transaction_blocks_until_holder_commits(self, store):
+        protocol = SerialProtocol(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        assert protocol.read(1, "x").granted
+        blocked = protocol.read(2, "x")
+        assert blocked.blocked and blocked.blocked_on == (1,)
+        protocol.commit(1)
+        assert protocol.read(2, "x").granted
+
+
+class TestStrictTwoPhaseLocking:
+    def test_shared_locks_are_compatible(self, store):
+        protocol = StrictTwoPhaseLocking(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        assert protocol.read(1, "x").granted
+        assert protocol.read(2, "x").granted
+        assert protocol.lock_holders("x") == {1: LockMode.SHARED, 2: LockMode.SHARED}
+
+    def test_exclusive_lock_blocks_reader(self, store):
+        protocol = StrictTwoPhaseLocking(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        assert protocol.write(1, "x", 1).granted
+        blocked = protocol.read(2, "x")
+        assert blocked.blocked and blocked.blocked_on == (1,)
+
+    def test_locks_released_at_commit(self, store):
+        protocol = StrictTwoPhaseLocking(store)
+        protocol.begin(1)
+        protocol.write(1, "x", 1)
+        protocol.commit(1)
+        protocol.begin(2)
+        assert protocol.write(2, "x", 2).granted
+
+    def test_lock_upgrade_for_same_transaction(self, store):
+        protocol = StrictTwoPhaseLocking(store)
+        protocol.begin(1)
+        assert protocol.read(1, "x").granted
+        assert protocol.write(1, "x", 3).granted
+        assert protocol.locks_held(1)["x"] is LockMode.EXCLUSIVE
+
+    def test_deadlock_aborts_the_requester(self, store):
+        protocol = StrictTwoPhaseLocking(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        assert protocol.write(1, "x", 1).granted
+        assert protocol.write(2, "y", 2).granted
+        assert protocol.write(1, "y", 3).blocked
+        closing = protocol.write(2, "x", 4)
+        assert closing.aborted
+        assert protocol.deadlocks_detected == 1
+
+    def test_youngest_victim_policy_dooms_the_younger_holder(self, store):
+        protocol = StrictTwoPhaseLocking(store, deadlock_victim="youngest")
+        protocol.begin(1)  # older
+        protocol.begin(2)  # younger
+        protocol.write(1, "x", 1)
+        protocol.write(2, "y", 2)
+        assert protocol.write(2, "x", 4).blocked
+        # the older transaction closes the cycle: the youngest (2) is doomed
+        # while the requester keeps waiting
+        assert protocol.write(1, "y", 3).blocked
+        assert protocol.must_abort(2)
+        # the doomed transaction is told to abort at its next interaction
+        assert protocol.commit(2).aborted
+
+    def test_youngest_victim_aborts_requester_when_it_is_youngest(self, store):
+        protocol = StrictTwoPhaseLocking(store, deadlock_victim="youngest")
+        protocol.begin(1)
+        protocol.begin(2)
+        protocol.write(1, "x", 1)
+        protocol.write(2, "y", 2)
+        assert protocol.write(1, "y", 3).blocked
+        # the younger transaction closes the cycle and is itself the victim
+        assert protocol.write(2, "x", 4).aborted
+
+
+class TestTimestampOrdering:
+    def test_older_reader_aborts_after_newer_write(self, store):
+        protocol = TimestampOrdering(store)
+        protocol.begin(1)  # ts 0
+        protocol.begin(2)  # ts 1
+        assert protocol.write(2, "x", 5).granted
+        assert protocol.read(1, "x").aborted
+
+    def test_older_writer_aborts_after_newer_read(self, store):
+        protocol = TimestampOrdering(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        assert protocol.read(2, "x").granted
+        assert protocol.write(1, "x", 7).aborted
+
+    def test_timestamp_order_execution_is_granted(self, store):
+        protocol = TimestampOrdering(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        assert protocol.read(1, "x").granted
+        assert protocol.write(1, "x", 1).granted
+        assert protocol.commit(1).granted
+        assert protocol.read(2, "x").granted
+        assert protocol.write(2, "x", 2).granted
+        assert protocol.commit(2).granted
+        assert store.read("x") == 2
+
+    def test_thomas_write_rule_skips_obsolete_write(self, store):
+        protocol = TimestampOrdering(store, thomas_write_rule=True)
+        protocol.begin(1)
+        protocol.begin(2)
+        assert protocol.write(2, "x", 20).granted
+        assert protocol.commit(2).granted
+        late = protocol.write(1, "x", 10)
+        assert late.granted and late.skip_effect
+        assert protocol.commit(1).granted
+        assert store.read("x") == 20
+        assert protocol.skipped_writes == 1
+
+
+class TestSerializationGraphTesting:
+    def test_conflicting_cycle_aborts_second_transaction(self, store):
+        protocol = SerializationGraphTesting(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        assert protocol.read(1, "x").granted
+        assert protocol.read(2, "y").granted
+        assert protocol.write(1, "y", 1).granted   # reader 2 precedes writer 1: 2 -> 1
+        closing = protocol.write(2, "x", 2)        # would add 1 -> 2: cycle
+        assert closing.aborted
+        assert protocol.cycles_prevented == 1
+
+    def test_pending_write_blocks_concurrent_reader(self, store):
+        protocol = SerializationGraphTesting(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        assert protocol.write(1, "x", 1).granted
+        blocked = protocol.read(2, "x")
+        assert blocked.blocked and blocked.blocked_on == (1,)
+        assert protocol.commit(1).granted
+        assert protocol.read(2, "x").value == 1
+
+    def test_acyclic_interleaving_fully_granted(self, store):
+        protocol = SerializationGraphTesting(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        assert protocol.read(1, "x").granted
+        assert protocol.write(1, "x", 1).granted
+        assert protocol.read(2, "y").granted
+        assert protocol.write(2, "y", 2).granted
+        assert protocol.commit(1).granted
+        assert protocol.commit(2).granted
+        assert protocol.committed_history_serializable()
+        assert store.snapshot() == {"x": 1, "y": 2}
+
+    def test_aborted_transaction_leaves_no_trace(self, store):
+        protocol = SerializationGraphTesting(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        protocol.write(1, "x", 1)
+        assert protocol.read(2, "x").blocked
+        protocol.abort(1)
+        assert 1 not in protocol.graph
+        assert protocol.read(2, "x").granted
+        assert protocol.read(2, "x").value == 0
+
+    def test_committed_sources_are_pruned(self, store):
+        protocol = SerializationGraphTesting(store)
+        protocol.begin(1)
+        protocol.write(1, "x", 1)
+        protocol.commit(1)
+        assert 1 not in protocol.graph
+
+
+class TestOptimisticConcurrencyControl:
+    def test_reads_and_writes_never_block(self, store):
+        protocol = OptimisticConcurrencyControl(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        assert protocol.read(1, "x").granted
+        assert protocol.write(2, "x", 9).granted
+
+    def test_validation_fails_when_read_set_overwritten(self, store):
+        protocol = OptimisticConcurrencyControl(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        protocol.read(1, "x")
+        protocol.write(2, "x", 9)
+        assert protocol.commit(2).granted
+        failed = protocol.commit(1)
+        assert failed.aborted
+        assert protocol.validation_failures == 1
+
+    def test_validation_succeeds_for_disjoint_footprints(self, store):
+        protocol = OptimisticConcurrencyControl(store)
+        protocol.begin(1)
+        protocol.begin(2)
+        protocol.read(1, "x")
+        protocol.write(1, "x", 1)
+        protocol.read(2, "y")
+        protocol.write(2, "y", 2)
+        assert protocol.commit(1).granted
+        assert protocol.commit(2).granted
+        assert store.snapshot() == {"x": 1, "y": 2}
+
+    def test_transaction_started_after_commit_is_not_invalidated(self, store):
+        protocol = OptimisticConcurrencyControl(store)
+        protocol.begin(1)
+        protocol.write(1, "x", 1)
+        protocol.commit(1)
+        protocol.begin(2)
+        protocol.read(2, "x")
+        assert protocol.commit(2).granted

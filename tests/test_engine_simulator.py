@@ -1,0 +1,99 @@
+"""Tests for the discrete-event simulator and its Section 6 latency decomposition."""
+
+import pytest
+
+from repro.engine.protocols.base import SerialProtocol
+from repro.engine.protocols.sgt import SerializationGraphTesting
+from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
+from repro.engine.simulator import (
+    LatencyBreakdown,
+    SimulationConfig,
+    Simulator,
+    compare_protocols,
+)
+from repro.engine.storage import DataStore
+from repro.engine.workloads import banking_generator, uniform_generator, WorkloadConfig
+
+
+def _run(protocol_cls, duration=200.0, clients=4, seed=1, workload=None):
+    initial, generate = workload or banking_generator(num_accounts=12)
+    store = DataStore(initial)
+    config = SimulationConfig(
+        num_clients=clients, duration=duration, seed=seed, abort_backoff=3.0
+    )
+    return Simulator(protocol_cls(store), generate, config).run()
+
+
+class TestLatencyBreakdown:
+    def test_total_is_sum_of_components(self):
+        breakdown = LatencyBreakdown(scheduling=1.0, waiting=2.5, execution=3.0)
+        assert breakdown.total == pytest.approx(6.5)
+
+
+class TestSimulatorBasics:
+    def test_simulation_commits_transactions_and_stays_serializable(self):
+        report = _run(StrictTwoPhaseLocking)
+        assert report.committed > 0
+        assert report.committed_serializable
+        assert report.throughput > 0
+
+    def test_deterministic_given_seed(self):
+        a = _run(SerializationGraphTesting, seed=5)
+        b = _run(SerializationGraphTesting, seed=5)
+        assert a.committed == b.committed
+        assert a.mean_response_time == pytest.approx(b.mean_response_time)
+
+    def test_different_seeds_differ(self):
+        a = _run(SerializationGraphTesting, seed=5)
+        b = _run(SerializationGraphTesting, seed=6)
+        assert (a.committed, a.operations) != (b.committed, b.operations)
+
+    def test_breakdown_components_are_nonnegative(self):
+        report = _run(StrictTwoPhaseLocking)
+        breakdown = report.mean_breakdown
+        assert breakdown.scheduling >= 0
+        assert breakdown.waiting >= 0
+        assert breakdown.execution > 0
+
+    def test_report_summary_is_printable(self):
+        report = _run(SerialProtocol)
+        text = report.summary()
+        assert "throughput" in text and "delay-free" in text
+
+
+class TestSection6Decomposition:
+    def test_serial_protocol_waits_more_than_sgt(self):
+        serial = _run(SerialProtocol, duration=400, clients=6)
+        sgt = _run(SerializationGraphTesting, duration=400, clients=6)
+        # the serial scheduler's smaller fixpoint set shows up as more waiting
+        assert serial.mean_breakdown.waiting > sgt.mean_breakdown.waiting
+        assert serial.delay_free_fraction <= sgt.delay_free_fraction
+
+    def test_single_client_never_waits(self):
+        report = _run(StrictTwoPhaseLocking, clients=1, duration=200)
+        assert report.blocks == 0
+        assert report.aborts == 0
+        assert report.delay_free_fraction == pytest.approx(1.0)
+
+    def test_more_clients_increase_contention(self):
+        low = _run(StrictTwoPhaseLocking, clients=2, duration=300, seed=2)
+        high = _run(StrictTwoPhaseLocking, clients=10, duration=300, seed=2)
+        assert high.blocks + high.aborts >= low.blocks + low.aborts
+
+
+class TestCompareProtocols:
+    def test_compare_runs_every_protocol_on_equal_footing(self):
+        initial, generate = uniform_generator(WorkloadConfig(num_keys=32, seed=3))
+        reports = compare_protocols(
+            {
+                "serial": SerialProtocol,
+                "2pl": StrictTwoPhaseLocking,
+                "sgt": SerializationGraphTesting,
+            },
+            initial,
+            generate,
+            SimulationConfig(num_clients=5, duration=200, seed=4),
+        )
+        assert set(reports) == {"serial", "2pl", "sgt"}
+        assert all(r.committed_serializable for r in reports.values())
+        assert all(r.committed > 0 for r in reports.values())

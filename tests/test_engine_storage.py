@@ -1,0 +1,56 @@
+"""Unit tests for the versioned key-value store."""
+
+import pytest
+
+from repro.engine.storage import DataStore, StorageError, Version
+
+
+class TestDataStore:
+    def test_initialisation_and_read(self):
+        store = DataStore({"a": 1, "b": 2})
+        assert store.read("a") == 1
+        assert store.read_version("b") == Version(value=2, version=0, writer=None)
+        assert len(store) == 2
+        assert "a" in store and "c" not in store
+
+    def test_read_of_unknown_key_raises(self):
+        store = DataStore({"a": 1})
+        with pytest.raises(StorageError):
+            store.read("missing")
+
+    def test_write_bumps_version_and_records_writer(self):
+        store = DataStore({"a": 1})
+        version = store.write("a", 5, writer=42)
+        assert version.version == 1
+        assert version.writer == 42
+        assert store.read("a") == 5
+        assert store.version_number("a") == 1
+
+    def test_write_of_new_key_starts_at_version_zero(self):
+        store = DataStore()
+        assert store.write("fresh", 9).version == 0
+
+    def test_apply_writes_is_atomic_batch(self):
+        store = DataStore({"a": 1, "b": 2})
+        store.apply_writes({"a": 10, "b": 20}, writer=7)
+        assert store.snapshot() == {"a": 10, "b": 20}
+        assert store.read_version("a").writer == 7
+
+    def test_total_versions_written(self):
+        store = DataStore({"a": 0})
+        store.write("a", 1)
+        store.write("a", 2)
+        assert store.total_versions_written() == 2
+
+    def test_copy_is_independent(self):
+        store = DataStore({"a": 1})
+        clone = store.copy()
+        clone.write("a", 99)
+        assert store.read("a") == 1
+        assert clone.read("a") == 99
+
+    def test_snapshot_is_plain_dict(self):
+        store = DataStore({"a": 1})
+        snap = store.snapshot()
+        snap["a"] = 1000
+        assert store.read("a") == 1

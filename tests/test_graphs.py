@@ -1,0 +1,121 @@
+"""Unit tests for the shared directed-graph utilities."""
+
+import pytest
+
+from repro.util.graphs import DiGraph, WaitForGraph
+
+
+class TestDiGraph:
+    def test_add_and_query_edges(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        assert graph.has_edge("a", "b")
+        assert graph.successors("a") == {"b"}
+        assert graph.predecessors("c") == {"b"}
+        assert graph.out_degree("a") == 1 and graph.in_degree("a") == 0
+        assert len(graph) == 3
+
+    def test_remove_node_cleans_both_directions(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.remove_node("b")
+        assert "b" not in graph
+        assert not graph.has_edge("a", "b")
+        assert graph.predecessors("c") == set()
+
+    def test_cycle_detection(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        assert not graph.has_cycle()
+        graph.add_edge(3, 1)
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle[:-1]) == {1, 2, 3}
+
+    def test_self_loop_is_a_cycle(self):
+        graph = DiGraph()
+        graph.add_edge("a", "a")
+        assert graph.has_cycle()
+
+    def test_topological_sort_respects_edges(self):
+        graph = DiGraph()
+        graph.add_edge("a", "c")
+        graph.add_edge("b", "c")
+        order = graph.topological_sort()
+        assert order.index("a") < order.index("c")
+        assert order.index("b") < order.index("c")
+
+    def test_topological_sort_rejects_cycles(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        with pytest.raises(ValueError):
+            graph.topological_sort()
+
+    def test_all_topological_sorts(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        assert len(graph.all_topological_sorts()) == 2
+        graph.add_edge("c", "a")
+        graph.add_edge("c", "b")
+        sorts = graph.all_topological_sorts()
+        assert all(order[0] == "c" for order in sorts)
+
+    def test_all_topological_sorts_empty_for_cyclic(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        assert graph.all_topological_sorts() == []
+
+    def test_reachability(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_node(4)
+        assert graph.reachable_from(1) == {2, 3}
+        assert graph.reachable_from(4) == set()
+
+    def test_undirected_connectivity(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        graph.add_node(3)
+        assert not graph.is_connected_undirected()
+        graph.add_edge(3, 2)
+        assert graph.is_connected_undirected()
+
+    def test_copy_is_deep_for_structure(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        clone = graph.copy()
+        clone.add_edge(2, 1)
+        assert not graph.has_cycle()
+        assert clone.has_cycle()
+
+
+class TestWaitForGraph:
+    def test_self_wait_ignored(self):
+        wfg = WaitForGraph()
+        wfg.add_wait(1, 1)
+        assert len(wfg) == 0
+
+    def test_deadlock_detection_and_resolution(self):
+        wfg = WaitForGraph()
+        wfg.add_wait(1, 2)
+        assert wfg.deadlocked_transactions() == []
+        wfg.add_wait(2, 1)
+        assert set(wfg.deadlocked_transactions()) == {1, 2}
+        wfg.remove_transaction(2)
+        assert wfg.deadlocked_transactions() == []
+
+    def test_clear_waits_keeps_incoming_edges(self):
+        wfg = WaitForGraph()
+        wfg.add_wait(1, 2)
+        wfg.add_wait(3, 1)
+        wfg.clear_waits(1)
+        assert not wfg.has_edge(1, 2)
+        assert wfg.has_edge(3, 1)

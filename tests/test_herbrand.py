@@ -1,0 +1,106 @@
+"""Unit tests for Herbrand (symbolic) semantics."""
+
+import pytest
+
+from repro.core.herbrand import (
+    HerbrandState,
+    HerbrandTerm,
+    herbrand_equivalent,
+    herbrand_execute,
+    herbrand_final_state,
+    initial_term,
+    serial_herbrand_states,
+)
+from repro.core.schedules import all_schedules, schedule_from_pairs, serial_schedule
+from repro.core.transactions import (
+    Transaction,
+    TransactionSystem,
+    make_system,
+    read_step,
+    update_step,
+    write_step,
+)
+
+
+class TestHerbrandTerm:
+    def test_initial_term_is_constant(self):
+        term = initial_term("x")
+        assert term.is_initial
+        assert term.depth() == 0
+        assert term.size() == 1
+        assert str(term) == "x"
+
+    def test_application_structure(self):
+        inner = initial_term("x")
+        outer = HerbrandTerm("f1_1", (inner,))
+        assert not outer.is_initial
+        assert outer.depth() == 1
+        assert outer.size() == 2
+        assert str(outer) == "f1_1(x)"
+        assert outer.symbols() == {"f1_1", "x"}
+
+    def test_terms_compare_structurally(self):
+        a = HerbrandTerm("f", (initial_term("x"),))
+        b = HerbrandTerm("f", (initial_term("x"),))
+        c = HerbrandTerm("f", (initial_term("y"),))
+        assert a == b
+        assert a != c
+
+
+class TestHerbrandExecution:
+    def test_initial_state_holds_variable_symbols(self):
+        system = make_system(["x", "y"], ["y"])
+        state = HerbrandState.initial(system)
+        assert state.globals_ == {"x": initial_term("x"), "y": initial_term("y")}
+
+    def test_update_step_builds_nested_terms(self):
+        system = make_system(["x", "x"])
+        final = herbrand_final_state(system, schedule_from_pairs([(1, 1), (1, 2)]))
+        assert str(final["x"]) == "f1_2(x, f1_1(x))"
+
+    def test_read_step_leaves_global_term_unchanged(self):
+        system = TransactionSystem([Transaction([read_step("x"), update_step("y")])])
+        final = herbrand_final_state(system, schedule_from_pairs([(1, 1), (1, 2)]))
+        assert final["x"] == initial_term("x")
+
+    def test_blind_write_omits_own_local(self):
+        system = TransactionSystem(
+            [Transaction([update_step("x"), write_step("y")])]
+        )
+        final = herbrand_final_state(system, schedule_from_pairs([(1, 1), (1, 2)]))
+        # the write to y depends only on t11 (the value of x *read* at step 1,
+        # i.e. the initial symbol), not on the old value of y
+        assert str(final["y"]) == "f1_2(x)"
+
+    def test_execution_does_not_mutate_supplied_state(self):
+        system = make_system(["x"])
+        state = HerbrandState.initial(system)
+        herbrand_execute(system, schedule_from_pairs([(1, 1)]), state)
+        assert state.globals_["x"] == initial_term("x")
+
+
+class TestHerbrandEquivalence:
+    def test_serial_schedules_of_figure1_differ(self, figure1):
+        system = figure1.system
+        states = serial_herbrand_states(system)
+        assert states[(1, 2)] != states[(2, 1)]
+
+    def test_figure1_history_not_equivalent_to_any_serial(self, figure1, figure1_h):
+        system = figure1.system
+        assert not any(
+            herbrand_equivalent(system, figure1_h, serial_schedule(system.format, list(order)))
+            for order in ((1, 2), (2, 1))
+        )
+
+    def test_non_conflicting_interleavings_are_equivalent(self):
+        # transactions on disjoint variables: every schedule equivalent to serial
+        system = make_system(["x"], ["y"])
+        serial = serial_schedule(system.format, [1, 2])
+        for schedule in all_schedules(system):
+            assert herbrand_equivalent(system, schedule, serial)
+
+    def test_equivalence_is_reflexive_and_symmetric(self, figure1, figure1_h):
+        system = figure1.system
+        serial = serial_schedule(system.format, [1, 2])
+        assert herbrand_equivalent(system, figure1_h, figure1_h)
+        assert herbrand_equivalent(system, serial, serial)

@@ -1,0 +1,70 @@
+"""Tests for SystemInstance: the basic assumption and C(T) enumeration."""
+
+import pytest
+
+from repro.core.instance import BasicAssumptionError, SystemInstance
+from repro.core.schedules import all_schedules, all_serial_schedules, count_schedules
+from repro.core.semantics import IntegrityConstraint, Interpretation
+from repro.core.transactions import StepRef, make_system
+
+
+class TestBasicAssumption:
+    def test_violating_transaction_rejected(self):
+        system = make_system(["x"])
+        interpretation = Interpretation(
+            system, {StepRef(1, 1): lambda t: t + 1}, {"x": 0}
+        )
+        constraint = IntegrityConstraint(lambda g: g["x"] == 0, "x = 0")
+        with pytest.raises(BasicAssumptionError):
+            SystemInstance(
+                system=system,
+                interpretation=interpretation,
+                constraint=constraint,
+                consistent_states=({"x": 0},),
+            )
+
+    def test_check_can_be_disabled(self):
+        system = make_system(["x"])
+        interpretation = Interpretation(
+            system, {StepRef(1, 1): lambda t: t + 1}, {"x": 0}
+        )
+        constraint = IntegrityConstraint(lambda g: g["x"] == 0, "x = 0")
+        instance = SystemInstance(
+            system=system,
+            interpretation=interpretation,
+            constraint=constraint,
+            consistent_states=({"x": 0},),
+            check_basic_assumption=False,
+        )
+        assert not instance.is_correct_schedule([StepRef(1, 1)])
+
+    def test_inconsistent_supplied_state_rejected(self, two_counter_instance):
+        with pytest.raises(ValueError):
+            two_counter_instance.with_constraint(
+                two_counter_instance.constraint, consistent_states=[{"x": 3}]
+            )
+
+
+class TestCorrectSchedules:
+    def test_serial_schedules_always_correct(self, two_counter_instance):
+        correct = set(two_counter_instance.correct_schedules())
+        for serial in all_serial_schedules(two_counter_instance.system):
+            assert serial in correct
+
+    def test_correct_set_bounded_by_H(self, figure1):
+        assert len(figure1.correct_schedules()) <= count_schedules(figure1.system)
+
+    def test_trivial_constraint_accepts_everything(self, figure1):
+        # Figure 1's instance has the always-true constraint, so C(T) = H.
+        assert len(figure1.correct_schedules()) == count_schedules(figure1.system)
+
+    def test_theorem2_instance_rejects_interleaved_history(self, two_counter_instance):
+        correct = set(two_counter_instance.correct_schedules())
+        assert len(correct) < count_schedules(two_counter_instance.system)
+
+    def test_with_constraint_builds_new_instance(self, figure1):
+        relaxed = figure1.with_constraint(
+            figure1.constraint, consistent_states=[{"x": 0}]
+        )
+        assert relaxed.consistent_states == ({"x": 0},)
+        assert relaxed.system is figure1.system

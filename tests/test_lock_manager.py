@@ -1,0 +1,114 @@
+"""Tests for the lock-respecting scheduler and lock feasibility."""
+
+import pytest
+
+from repro.core.schedules import all_schedules, count_schedules, is_serial
+from repro.core.serializability import is_serializable
+from repro.core.transactions import make_system
+from repro.locking.lock_manager import (
+    LockRespectingScheduler,
+    LockTable,
+    is_lock_feasible,
+    lock_feasible_schedules,
+    lrs_fixpoint_size,
+    policy_output_schedules,
+    policy_performance,
+)
+from repro.locking.two_phase import TwoPhaseLockingPolicy, TwoPhasePrimePolicy
+
+
+class TestLockTable:
+    def test_acquire_and_release(self):
+        table = LockTable()
+        assert table.acquire("X", 1)
+        assert not table.acquire("X", 2)
+        assert table.holder("X") == 1
+        assert table.release("X", 1)
+        assert table.acquire("X", 2)
+
+    def test_release_requires_ownership(self):
+        table = LockTable()
+        table.acquire("X", 1)
+        assert not table.release("X", 2)
+        assert table.holder("X") == 1
+
+    def test_held_by_lists_locks(self):
+        table = LockTable()
+        table.acquire("X", 1)
+        table.acquire("Y", 1)
+        table.acquire("Z", 2)
+        assert table.held_by(1) == {"X", "Y"}
+        assert len(table) == 3
+
+
+class TestLockFeasibility:
+    def test_serial_schedules_always_feasible(self, counter_pair):
+        locked = TwoPhaseLockingPolicy()(counter_pair)
+        fmt = locked.format
+        from repro.core.schedules import serial_schedule
+
+        for order in ([1, 2], [2, 1]):
+            assert is_lock_feasible(locked, serial_schedule(fmt, order))
+
+    def test_feasible_set_matches_brute_force_filter(self, counter_pair):
+        locked = TwoPhaseLockingPolicy()(counter_pair)
+        fast = set(lock_feasible_schedules(locked))
+        brute = {
+            schedule
+            for schedule in all_schedules(locked.format)
+            if is_lock_feasible(locked, schedule)
+        }
+        assert fast == brute
+
+    def test_feasible_set_equals_correct_set_of_locked_instance(self, counter_pair):
+        # the geometric/operational view and the C(L(T)) view agree
+        locked = TwoPhaseLockingPolicy()(counter_pair)
+        instance = locked.as_instance()
+        assert set(lock_feasible_schedules(locked)) == set(instance.correct_schedules())
+
+    def test_fixpoint_size_helper(self, counter_pair):
+        locked = TwoPhaseLockingPolicy()(counter_pair)
+        assert lrs_fixpoint_size(locked) == len(lock_feasible_schedules(locked))
+
+
+class TestPolicyPerformance:
+    def test_projection_is_deduplicated_and_legal(self, counter_pair):
+        locked = TwoPhaseLockingPolicy()(counter_pair)
+        projected = policy_output_schedules(locked)
+        assert all(len(s) == counter_pair.total_steps for s in projected)
+        assert len(projected) <= count_schedules(counter_pair)
+
+    def test_performance_sorted_form(self, counter_pair):
+        locked = TwoPhaseLockingPolicy()(counter_pair)
+        as_list = policy_performance(locked)
+        assert set(as_list) == policy_output_schedules(locked)
+
+    def test_2pl_outputs_on_counter_pair_are_exactly_serial(self, counter_pair):
+        # with opposite lock orders every non-serial interleaving hits a block
+        projected = policy_output_schedules(TwoPhaseLockingPolicy()(counter_pair))
+        assert all(is_serial(counter_pair, s) for s in projected)
+
+
+class TestLockRespectingScheduler:
+    def test_fixpoint_set_is_lock_feasible_set(self, counter_pair):
+        locked = TwoPhaseLockingPolicy()(counter_pair)
+        scheduler = LockRespectingScheduler(locked)
+        assert set(scheduler.fixpoint_set()) == set(lock_feasible_schedules(locked))
+
+    def test_scheduler_is_correct_for_lock_constraints(self, counter_pair):
+        locked = TwoPhaseLockingPolicy()(counter_pair)
+        scheduler = LockRespectingScheduler(locked)
+        assert scheduler.is_correct()
+
+    def test_greedy_rescheduling_output_is_feasible(self, counter_pair):
+        locked = TwoPhaseLockingPolicy()(counter_pair)
+        scheduler = LockRespectingScheduler(locked)
+        for history in all_schedules(locked.format):
+            produced = scheduler.schedule(history)
+            assert is_lock_feasible(locked, produced)
+
+    def test_projected_outputs_serializable_for_2pl_prime(self):
+        system = make_system(["x", "y", "z"], ["x", "y"])
+        locked = TwoPhasePrimePolicy("x")(system)
+        for projected in policy_output_schedules(locked):
+            assert is_serializable(system, projected)

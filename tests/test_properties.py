@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.herbrand import herbrand_final_state
+from repro.core.schedules import (
+    adjacent_swaps,
+    all_schedules,
+    count_schedules,
+    is_legal,
+    is_serial,
+    random_schedule,
+    serial_schedule,
+)
+from repro.core.serializability import (
+    conflict_graph,
+    is_conflict_serializable,
+    is_serializable,
+)
+from repro.core.transactions import TransactionSystem, Transaction, make_system, update_step
+from repro.engine.protocols.sgt import SerializationGraphTesting
+from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
+from repro.engine.protocols.timestamp_ordering import TimestampOrdering
+from repro.engine.protocols.occ import OptimisticConcurrencyControl
+from repro.engine.runtime import TransactionExecutor
+from repro.engine.storage import DataStore
+from repro.engine.workloads import WorkloadConfig, uniform_workload
+from repro.locking.lock_manager import is_lock_feasible, lock_feasible_schedules
+from repro.locking.two_phase import TwoPhaseLockingPolicy, two_phase_lock
+from repro.locking.policies import is_two_phase, is_well_formed, is_well_nested
+from repro.util.graphs import DiGraph
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+formats = st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=3).map(tuple)
+
+variable_names = st.sampled_from(["x", "y", "z"])
+
+
+@st.composite
+def small_systems(draw):
+    """A random transaction system with 2-3 transactions of 1-3 update steps."""
+    n_txns = draw(st.integers(min_value=2, max_value=3))
+    sequences = [
+        draw(st.lists(variable_names, min_size=1, max_size=3)) for _ in range(n_txns)
+    ]
+    return make_system(*sequences)
+
+
+@st.composite
+def system_with_schedule(draw):
+    system = draw(small_systems())
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    schedule = random_schedule(system, random.Random(seed))
+    return system, schedule
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+
+
+class TestScheduleProperties:
+    @given(formats)
+    @settings(max_examples=40, deadline=None)
+    def test_enumeration_count_matches_formula(self, fmt):
+        assert sum(1 for _ in all_schedules(fmt)) == count_schedules(fmt)
+
+    @given(formats, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_random_schedules_are_legal(self, fmt, seed):
+        schedule = random_schedule(fmt, random.Random(seed))
+        assert is_legal(fmt, schedule)
+
+    @given(system_with_schedule())
+    @settings(max_examples=50, deadline=None)
+    def test_adjacent_swaps_preserve_legality_and_are_reversible(self, pair):
+        system, schedule = pair
+        for swapped in adjacent_swaps(system, schedule):
+            assert is_legal(system, swapped)
+            assert schedule in adjacent_swaps(system, swapped)
+
+    @given(formats)
+    @settings(max_examples=30, deadline=None)
+    def test_serial_schedules_are_serial(self, fmt):
+        order = list(range(1, len(fmt) + 1))
+        assert is_serial(fmt, serial_schedule(fmt, order))
+
+
+# ----------------------------------------------------------------------
+# serializability
+# ----------------------------------------------------------------------
+
+
+class TestSerializabilityProperties:
+    @given(system_with_schedule())
+    @settings(max_examples=40, deadline=None)
+    def test_conflict_serializable_implies_herbrand_serializable(self, pair):
+        system, schedule = pair
+        if is_conflict_serializable(system, schedule):
+            assert is_serializable(system, schedule)
+
+    @given(system_with_schedule())
+    @settings(max_examples=40, deadline=None)
+    def test_serial_schedules_always_serializable(self, pair):
+        system, _ = pair
+        order = list(range(1, system.num_transactions + 1))
+        assert is_serializable(system, serial_schedule(system.format, order))
+
+    @given(system_with_schedule())
+    @settings(max_examples=40, deadline=None)
+    def test_adjacent_swap_of_nonconflicting_steps_preserves_herbrand_state(self, pair):
+        system, schedule = pair
+        final = herbrand_final_state(system, schedule)
+        for swapped in adjacent_swaps(system, schedule):
+            # find the swapped pair and check whether the two steps conflict
+            diff = [k for k in range(len(schedule)) if schedule[k] != swapped[k]]
+            a, b = schedule[diff[0]], schedule[diff[1]]
+            step_a, step_b = system.step(a), system.step(b)
+            conflict = step_a.variable == step_b.variable and (
+                step_a.writes() or step_b.writes()
+            )
+            if not conflict:
+                assert herbrand_final_state(system, swapped) == final
+
+    @given(system_with_schedule())
+    @settings(max_examples=30, deadline=None)
+    def test_conflict_graph_nodes_are_exactly_the_transactions(self, pair):
+        system, schedule = pair
+        graph = conflict_graph(system, schedule)
+        assert set(graph.nodes()) == set(range(1, system.num_transactions + 1))
+
+
+# ----------------------------------------------------------------------
+# locking
+# ----------------------------------------------------------------------
+
+
+class TestLockingProperties:
+    @given(st.lists(variable_names, min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_two_phase_lock_output_is_well_formed_and_two_phase(self, variables):
+        transaction = Transaction([update_step(v) for v in variables])
+        locked = two_phase_lock(transaction)
+        assert is_two_phase(locked)
+        assert is_well_nested(locked)
+        assert is_well_formed(locked)
+        assert locked.original_transaction().variables == transaction.variables
+
+    @given(small_systems())
+    @settings(max_examples=15, deadline=None)
+    def test_2pl_feasible_schedules_project_to_serializable_histories(self, system):
+        locked = TwoPhaseLockingPolicy()(system)
+        feasible = lock_feasible_schedules(locked)
+        assert feasible  # serial executions are always feasible
+        for schedule in feasible[:40]:
+            assert is_lock_feasible(locked, schedule)
+            assert is_serializable(system, locked.project_schedule(schedule))
+
+
+# ----------------------------------------------------------------------
+# graphs
+# ----------------------------------------------------------------------
+
+
+class TestGraphProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=0, max_size=12
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_topological_sort_iff_acyclic(self, edges):
+        graph = DiGraph()
+        for u, v in edges:
+            graph.add_edge(u, v)
+        if graph.has_cycle():
+            cycle = graph.find_cycle()
+            assert cycle[0] == cycle[-1]
+            for u, v in zip(cycle, cycle[1:]):
+                assert graph.has_edge(u, v)
+        else:
+            order = graph.topological_sort()
+            position = {node: i for i, node in enumerate(order)}
+            for u, v in graph.edges():
+                assert position[u] < position[v]
+
+
+# ----------------------------------------------------------------------
+# engine end-to-end invariant
+# ----------------------------------------------------------------------
+
+
+class TestEngineProperties:
+    @given(
+        st.sampled_from(
+            [StrictTwoPhaseLocking, SerializationGraphTesting, TimestampOrdering, OptimisticConcurrencyControl]
+        ),
+        st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_committed_histories_always_conflict_serializable(self, protocol_cls, seed):
+        config = WorkloadConfig(num_keys=8, operations_per_transaction=3, read_fraction=0.4)
+        initial, specs = uniform_workload(num_transactions=12, config=config, seed=seed)
+        store = DataStore(initial)
+        executor = TransactionExecutor(
+            protocol_cls(store),
+            interleaving="random",
+            seed=seed,
+            max_attempts=200,
+            max_concurrent=4,
+        )
+        result = executor.run(specs)
+        assert result.committed == 12
+        assert result.committed_serializable

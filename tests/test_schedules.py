@@ -1,0 +1,143 @@
+"""Unit tests for schedules (histories) and their enumeration."""
+
+import math
+
+import pytest
+
+from repro.core.schedules import (
+    ScheduleError,
+    adjacent_swaps,
+    all_schedules,
+    all_serial_schedules,
+    count_schedules,
+    count_serial_schedules,
+    interleaving_degree,
+    is_legal,
+    is_serial,
+    positions,
+    projection,
+    random_schedule,
+    schedule_from_pairs,
+    serial_order_of,
+    serial_schedule,
+    validate_schedule,
+)
+from repro.core.transactions import StepRef
+
+
+class TestLegality:
+    def test_serial_schedule_is_legal(self):
+        sched = serial_schedule((2, 2), [1, 2])
+        assert is_legal((2, 2), sched)
+
+    def test_out_of_order_steps_are_illegal(self):
+        bad = schedule_from_pairs([(1, 2), (1, 1), (2, 1), (2, 2)])
+        assert not is_legal((2, 2), bad)
+
+    def test_incomplete_schedule_legal_as_prefix_only(self):
+        prefix = schedule_from_pairs([(1, 1), (2, 1)])
+        assert is_legal((2, 2), prefix, require_complete=False)
+        assert not is_legal((2, 2), prefix, require_complete=True)
+
+    def test_unknown_transaction_is_illegal(self):
+        bad = schedule_from_pairs([(3, 1), (1, 1), (2, 1)])
+        assert not is_legal((1, 1), bad)
+
+    def test_validate_schedule_raises_on_bad_input(self):
+        with pytest.raises(ScheduleError):
+            validate_schedule((2, 1), schedule_from_pairs([(1, 1), (1, 2)]))
+
+
+class TestSerialSchedules:
+    def test_serial_schedule_layout(self):
+        sched = serial_schedule((2, 1), [2, 1])
+        assert [r.as_tuple() for r in sched] == [(2, 1), (1, 1), (1, 2)]
+
+    def test_serial_order_roundtrip(self):
+        sched = serial_schedule((2, 3, 1), [3, 1, 2])
+        assert serial_order_of((2, 3, 1), sched) == [3, 1, 2]
+
+    def test_serial_order_of_rejects_non_serial(self):
+        interleaved = schedule_from_pairs([(1, 1), (2, 1), (1, 2), (2, 2)])
+        with pytest.raises(ScheduleError):
+            serial_order_of((2, 2), interleaved)
+
+    def test_all_serial_schedules_count(self):
+        assert len(all_serial_schedules((1, 1, 1))) == 6
+        assert count_serial_schedules((2, 2, 2, 2)) == 24
+
+    def test_is_serial_detects_interleaving(self):
+        assert is_serial((2, 2), serial_schedule((2, 2), [1, 2]))
+        assert not is_serial(
+            (2, 2), schedule_from_pairs([(1, 1), (2, 1), (1, 2), (2, 2)])
+        )
+
+    def test_serial_schedule_requires_permutation(self):
+        with pytest.raises(ScheduleError):
+            serial_schedule((2, 2), [1, 1])
+
+
+class TestEnumerationAndCounting:
+    @pytest.mark.parametrize(
+        "fmt", [(1, 1), (2, 1), (2, 2), (3, 2), (2, 2, 2), (3, 2, 4)]
+    )
+    def test_count_matches_multinomial(self, fmt):
+        total = math.factorial(sum(fmt))
+        for m in fmt:
+            total //= math.factorial(m)
+        assert count_schedules(fmt) == total
+
+    @pytest.mark.parametrize("fmt", [(1, 1), (2, 2), (3, 2), (2, 2, 2)])
+    def test_enumeration_matches_count_and_is_duplicate_free(self, fmt):
+        schedules = list(all_schedules(fmt))
+        assert len(schedules) == count_schedules(fmt)
+        assert len(set(schedules)) == len(schedules)
+        assert all(is_legal(fmt, s) for s in schedules)
+
+    def test_every_serial_schedule_is_enumerated(self):
+        schedules = set(all_schedules((2, 2)))
+        for serial in all_serial_schedules((2, 2)):
+            assert serial in schedules
+
+    def test_random_schedule_is_legal_and_deterministic_per_seed(self):
+        import random
+
+        a = random_schedule((3, 2, 2), random.Random(7))
+        b = random_schedule((3, 2, 2), random.Random(7))
+        assert a == b
+        assert is_legal((3, 2, 2), a)
+
+    def test_random_schedule_covers_space(self):
+        import random
+
+        rng = random.Random(0)
+        seen = {random_schedule((2, 2), rng) for _ in range(400)}
+        assert len(seen) == count_schedules((2, 2))
+
+
+class TestTransformationsAndHelpers:
+    def test_adjacent_swaps_only_cross_transaction(self):
+        sched = serial_schedule((2, 2), [1, 2])
+        swaps = adjacent_swaps((2, 2), sched)
+        # only the boundary pair (T1,2)(T2,1) may be exchanged
+        assert len(swaps) == 1
+        assert [r.as_tuple() for r in swaps[0]] == [(1, 1), (2, 1), (1, 2), (2, 2)]
+
+    def test_adjacent_swaps_preserve_legality(self):
+        start = schedule_from_pairs([(1, 1), (2, 1), (1, 2), (2, 2)])
+        for swapped in adjacent_swaps((2, 2), start):
+            assert is_legal((2, 2), swapped)
+
+    def test_projection_restores_transaction_order(self):
+        sched = schedule_from_pairs([(1, 1), (2, 1), (1, 2), (2, 2)])
+        assert [r.as_tuple() for r in projection(sched, 1)] == [(1, 1), (1, 2)]
+
+    def test_positions_mapping(self):
+        sched = serial_schedule((1, 1), [2, 1])
+        assert positions(sched)[StepRef(2, 1)] == 0
+
+    def test_interleaving_degree_bounds(self):
+        serial = serial_schedule((2, 2), [1, 2])
+        assert interleaving_degree((2, 2), serial) == 1
+        zigzag = schedule_from_pairs([(1, 1), (2, 1), (1, 2), (2, 2)])
+        assert interleaving_degree((2, 2), zigzag) == 3

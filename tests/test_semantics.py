@@ -1,0 +1,157 @@
+"""Unit tests for concrete semantics: states, step execution, correctness."""
+
+import pytest
+
+from repro.core.semantics import (
+    ALWAYS_CONSISTENT,
+    IllegalExecutionError,
+    IntegrityConstraint,
+    Interpretation,
+    SemanticsError,
+    SystemState,
+    execute_schedule,
+    execute_serial,
+    execute_step,
+    final_globals,
+    preserves_consistency,
+    transaction_is_correct,
+)
+from repro.core.schedules import schedule_from_pairs, serial_schedule
+from repro.core.transactions import StepRef, Transaction, TransactionSystem, make_system, update_step
+from repro.core.examples import banking_interpretation, banking_transaction_system, banking_constraint
+
+
+class TestSystemState:
+    def test_initial_state_sets_counters_to_one(self):
+        system = make_system(["x", "y"], ["x"])
+        state = SystemState.initial(system, {"x": 1, "y": 2})
+        assert state.program_counters == {1: 1, 2: 1}
+        assert state.locals_ == {}
+        assert not state.is_terminated(system)
+
+    def test_initial_state_requires_all_variables(self):
+        system = make_system(["x", "y"], ["x"])
+        with pytest.raises(SemanticsError):
+            SystemState.initial(system, {"x": 1})
+
+    def test_eligible_steps_advance_with_counters(self):
+        system = make_system(["x", "y"], ["x"])
+        interp = Interpretation(system, {}, {"x": 0, "y": 0})
+        state = interp.initial_state()
+        assert {r.as_tuple() for r in state.eligible_steps(system)} == {(1, 1), (2, 1)}
+        state = execute_step(system, interp, state, StepRef(1, 1))
+        assert {r.as_tuple() for r in state.eligible_steps(system)} == {(1, 2), (2, 1)}
+
+    def test_copy_is_independent(self):
+        system = make_system(["x"])
+        state = SystemState.initial(system, {"x": 0})
+        clone = state.copy()
+        clone.globals_["x"] = 99
+        assert state.globals_["x"] == 0
+
+
+class TestStepExecution:
+    def test_step_stores_local_then_transforms_global(self):
+        system = make_system(["x"])
+        interp = Interpretation(
+            system, {StepRef(1, 1): lambda t: t + 5}, {"x": 10}
+        )
+        state = execute_step(system, interp, interp.initial_state(), StepRef(1, 1))
+        assert state.locals_[(1, 1)] == 10
+        assert state.globals_["x"] == 15
+        assert state.program_counters[1] == 2
+
+    def test_default_interpretation_is_identity(self):
+        system = make_system(["x"])
+        interp = Interpretation(system, {}, {"x": 7})
+        state = execute_step(system, interp, interp.initial_state(), StepRef(1, 1))
+        assert state.globals_["x"] == 7
+
+    def test_step_sees_all_declared_locals(self):
+        # phi_12 receives (t11, t12): new y = t11 + t12
+        system = make_system(["x", "y"])
+        interp = Interpretation(
+            system, {StepRef(1, 2): lambda t1, t2: t1 + t2}, {"x": 3, "y": 4}
+        )
+        final = final_globals(system, interp, schedule_from_pairs([(1, 1), (1, 2)]))
+        assert final == {"x": 3, "y": 7}
+
+    def test_ineligible_step_raises(self):
+        system = make_system(["x", "y"])
+        interp = Interpretation(system, {}, {"x": 0, "y": 0})
+        with pytest.raises(IllegalExecutionError):
+            execute_step(system, interp, interp.initial_state(), StepRef(1, 2))
+
+    def test_unknown_step_interpretation_rejected(self):
+        system = make_system(["x"])
+        with pytest.raises(SemanticsError):
+            Interpretation(system, {StepRef(2, 1): lambda t: t}, {"x": 0})
+
+
+class TestScheduleExecution:
+    def test_figure1_history_matches_hand_computation(self, figure1, figure1_h):
+        # start x=0: T11 -> 1, T21 -> 2, T12 -> 4
+        final = final_globals(figure1.system, figure1.interpretation, figure1_h)
+        assert final["x"] == 4
+
+    def test_serial_orders_of_figure1(self, figure1):
+        system, interp = figure1.system, figure1.interpretation
+        t1_first = execute_serial(system, interp, [1, 2]).globals_["x"]
+        t2_first = execute_serial(system, interp, [2, 1]).globals_["x"]
+        # T1;T2: ((0+1)*2)+1 = 3 ; T2;T1: ((0+1)+1)*2 = 4
+        assert t1_first == 3
+        assert t2_first == 4
+
+    def test_execute_serial_requires_permutation_unless_weak(self, figure1):
+        with pytest.raises(SemanticsError):
+            execute_serial(figure1.system, figure1.interpretation, [1, 1])
+        # allowed with repetitions for weak serializability
+        result = execute_serial(
+            figure1.system, figure1.interpretation, [2, 2], allow_repetitions=True
+        )
+        assert result.globals_["x"] == 2
+
+    def test_custom_initial_state_overrides_interpretation(self, figure1, figure1_h):
+        final = final_globals(
+            figure1.system, figure1.interpretation, figure1_h, {"x": 10}
+        )
+        assert final["x"] == 2 * (10 + 1 + 1)
+
+
+class TestConsistencyChecking:
+    def test_banking_transactions_individually_correct(self):
+        system = banking_transaction_system()
+        interp = banking_interpretation(system)
+        constraint = banking_constraint()
+        for i in (1, 2, 3):
+            assert transaction_is_correct(system, interp, constraint, i)
+
+    def test_preserves_consistency_detects_violation(self, two_counter_instance):
+        inst = two_counter_instance
+        bad = schedule_from_pairs([(1, 1), (2, 1), (1, 2)])  # +1, *2, -1 -> x = 1
+        assert not preserves_consistency(
+            inst.system, inst.interpretation, inst.constraint, bad, inst.consistent_states
+        )
+
+    def test_serial_schedules_preserve_consistency(self, two_counter_instance):
+        inst = two_counter_instance
+        for order in ([1, 2], [2, 1]):
+            sched = serial_schedule(inst.system.format, order)
+            assert preserves_consistency(
+                inst.system,
+                inst.interpretation,
+                inst.constraint,
+                sched,
+                inst.consistent_states,
+            )
+
+    def test_always_consistent_accepts_anything(self):
+        assert ALWAYS_CONSISTENT({"x": -123})
+
+    def test_inconsistent_initial_states_are_skipped(self, two_counter_instance):
+        inst = two_counter_instance
+        bad = schedule_from_pairs([(1, 1), (2, 1), (1, 2)])
+        # the only candidate state is inconsistent -> vacuously preserved
+        assert preserves_consistency(
+            inst.system, inst.interpretation, inst.constraint, bad, [{"x": 5}]
+        )

@@ -1,0 +1,196 @@
+"""Experiments E6 and E9: the 2PL transformation (Figure 2), 2PL' (Figure 5), optimality."""
+
+import pytest
+
+from repro.core.examples import figure2_transaction
+from repro.core.schedules import count_schedules
+from repro.core.serializability import is_serializable
+from repro.core.transactions import Transaction, make_system, update_step
+from repro.locking.lock_manager import policy_output_schedules
+from repro.locking.policies import (
+    AccessAction,
+    LockAction,
+    UnlockAction,
+    is_two_phase,
+    is_well_formed,
+    is_well_nested,
+)
+from repro.locking.two_phase import (
+    NoLockingPolicy,
+    TwoPhaseExceptExclusivePolicy,
+    TwoPhaseLockingPolicy,
+    TwoPhasePrimePolicy,
+    exclusive_variables,
+    two_phase_lock,
+    two_phase_prime_lock,
+)
+from repro.analysis.locking_analysis import analyse_policy, policy_dominates
+
+
+def _action_strings(locked_txn):
+    return [str(a) for a in locked_txn.actions]
+
+
+class TestFigure2Transformation:
+    """2PL applied to the transaction (x, y, x, z) reproduces Figure 2(b)."""
+
+    def test_exact_action_sequence(self):
+        locked = two_phase_lock(figure2_transaction())
+        assert _action_strings(locked) == [
+            "lock lock:x",
+            "access x (step 1)",
+            "lock lock:y",
+            "access y (step 2)",
+            "access x (step 3)",
+            "lock lock:z",
+            "unlock lock:x",
+            "unlock lock:y",
+            "access z (step 4)",
+            "unlock lock:z",
+        ]
+
+    def test_result_is_two_phase_well_formed_well_nested(self):
+        locked = two_phase_lock(figure2_transaction())
+        assert is_two_phase(locked)
+        assert is_well_formed(locked)
+        assert is_well_nested(locked)
+
+    def test_locks_as_late_as_possible(self):
+        # the lock on z appears immediately before the first access of z
+        locked = two_phase_lock(figure2_transaction())
+        actions = locked.actions
+        z_lock = next(
+            i for i, a in enumerate(actions) if isinstance(a, LockAction) and a.variable == "lock:z"
+        )
+        assert isinstance(actions[z_lock + 3], AccessAction)
+        assert actions[z_lock + 3].step.variable == "z"
+
+    def test_unlocks_as_early_as_possible_subject_to_two_phase(self):
+        # x's last access is step 3 but unlock x must wait for the last lock (z)
+        locked = two_phase_lock(figure2_transaction())
+        actions = locked.actions
+        last_lock = max(i for i, a in enumerate(actions) if isinstance(a, LockAction))
+        first_unlock = min(i for i, a in enumerate(actions) if isinstance(a, UnlockAction))
+        assert first_unlock == last_lock + 1
+
+    def test_single_access_transaction(self):
+        locked = two_phase_lock(Transaction([update_step("x")]))
+        assert _action_strings(locked) == [
+            "lock lock:x",
+            "access x (step 1)",
+            "unlock lock:x",
+        ]
+
+    def test_restricting_lock_variables(self):
+        locked = two_phase_lock(figure2_transaction(), lock_variables={"y"})
+        assert locked.lock_variables == {"lock:y"}
+
+
+class TestFigure5Transformation:
+    """2PL' applied to the same transaction reproduces Figure 5(b)."""
+
+    def test_exact_action_sequence(self):
+        locked = two_phase_prime_lock(figure2_transaction(), "x")
+        assert _action_strings(locked) == [
+            "lock lock:x",
+            "access x (step 1)",
+            "lock lock:x'",
+            "unlock lock:x'",
+            "lock lock:y",
+            "access y (step 2)",
+            "access x (step 3)",
+            "lock lock:x'",
+            "unlock lock:x",
+            "lock lock:z",
+            "unlock lock:x'",
+            "unlock lock:y",
+            "access z (step 4)",
+            "unlock lock:z",
+        ]
+
+    def test_not_two_phase_but_well_nested(self):
+        locked = two_phase_prime_lock(figure2_transaction(), "x")
+        assert not is_two_phase(locked)
+        assert is_well_nested(locked)
+
+    def test_transaction_without_distinguished_variable_falls_back_to_2pl(self):
+        txn = Transaction([update_step("a"), update_step("b")])
+        assert _action_strings(two_phase_prime_lock(txn, "x")) == _action_strings(
+            two_phase_lock(txn)
+        )
+
+    def test_single_usage_of_distinguished_variable(self):
+        txn = Transaction([update_step("x"), update_step("y")])
+        locked = two_phase_prime_lock(txn, "x")
+        assert is_well_nested(locked)
+        # x's ordinary lock is released before the transaction ends
+        strings = _action_strings(locked)
+        assert strings.index("unlock lock:x") < strings.index("access y (step 2)") or (
+            "unlock lock:x" in strings
+        )
+
+
+class Test2PLPrimeBeats2PL:
+    """Section 5.4: 2PL' is correct, separable, and strictly better than 2PL."""
+
+    @pytest.fixture
+    def witness_system(self):
+        # T1 = (x, y, z), T2 = (x, y): releasing x early lets T2 run sooner.
+        return make_system(["x", "y", "z"], ["x", "y"], name="witness")
+
+    def test_both_policies_correct(self, witness_system):
+        for policy in (TwoPhaseLockingPolicy(), TwoPhasePrimePolicy("x")):
+            projected = policy_output_schedules(policy(witness_system))
+            assert all(is_serializable(witness_system, s) for s in projected)
+
+    def test_2pl_prime_strictly_dominates(self, witness_system):
+        assert policy_dominates(
+            TwoPhasePrimePolicy("x"), TwoPhaseLockingPolicy(), witness_system
+        )
+
+    def test_both_are_separable(self):
+        assert TwoPhaseLockingPolicy().separable
+        assert TwoPhasePrimePolicy("x").separable
+
+    def test_dominance_is_weak_on_figure2_pairing(self, fig2_system):
+        # on the Figure 2 pairing the sets coincide; 2PL' is never worse
+        better = policy_output_schedules(TwoPhasePrimePolicy("x")(fig2_system))
+        base = policy_output_schedules(TwoPhaseLockingPolicy()(fig2_system))
+        assert base <= better
+
+
+class TestExclusiveVariableCounterexample:
+    """Section 5.4's 'trivial reason' 2PL is not optimal as a locking policy."""
+
+    @pytest.fixture
+    def system_with_private_variable(self):
+        # z is touched only by T1, so locking it buys nothing.
+        return make_system(["x", "z"], ["x"], name="private-z")
+
+    def test_exclusive_variables_detected(self, system_with_private_variable):
+        assert exclusive_variables(system_with_private_variable) == {"z"}
+
+    def test_skipping_exclusive_locks_is_correct(self, system_with_private_variable):
+        report = analyse_policy(
+            TwoPhaseExceptExclusivePolicy(), system_with_private_variable
+        )
+        assert report.all_projected_serializable
+
+    def test_skipping_exclusive_locks_never_hurts(self, system_with_private_variable):
+        relaxed = policy_output_schedules(
+            TwoPhaseExceptExclusivePolicy()(system_with_private_variable)
+        )
+        strict = policy_output_schedules(
+            TwoPhaseLockingPolicy()(system_with_private_variable)
+        )
+        assert strict <= relaxed
+
+    def test_policy_is_not_separable(self):
+        assert not TwoPhaseExceptExclusivePolicy().separable
+
+
+class TestNoLockingIsIncorrect:
+    def test_unlocked_system_admits_nonserializable_outputs(self, simple_rw_system):
+        report = analyse_policy(NoLockingPolicy(), simple_rw_system)
+        assert not report.all_projected_serializable
+        assert report.projected_schedules == count_schedules(simple_rw_system)

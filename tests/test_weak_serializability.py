@@ -1,0 +1,101 @@
+"""Experiment E5: Figure 1 and Theorem 4 (weak serializability)."""
+
+import pytest
+
+from repro.core.examples import figure1_history, figure1_system
+from repro.core.herbrand import herbrand_final_state
+from repro.core.schedules import all_schedules, count_schedules, serial_schedule
+from repro.core.schedulers import SerializationScheduler, WeakSerializationScheduler
+from repro.core.semantics import execute_serial, final_globals
+from repro.core.serializability import (
+    is_serializable,
+    is_weakly_serializable,
+    weakly_serializable_schedules,
+)
+
+
+class TestFigure1Reproduction:
+    """The worked example at the start of Section 4.3."""
+
+    def test_herbrand_values_match_the_paper(self, figure1, figure1_h):
+        system = figure1.system
+        h_value = str(herbrand_final_state(system, figure1_h)["x"])
+        serial_12 = str(
+            herbrand_final_state(system, serial_schedule(system.format, [1, 2]))["x"]
+        )
+        serial_21 = str(
+            herbrand_final_state(system, serial_schedule(system.format, [2, 1]))["x"]
+        )
+        # paper: f12(f11(f21(x))) and f21(f12(f11(x))) for the serial histories,
+        # f12(f21(f11(x))) for h (our canonical symbols are fi_j and arguments
+        # accumulate all earlier locals of the same transaction).
+        assert h_value != serial_12 and h_value != serial_21
+        assert serial_12 != serial_21
+
+    def test_h_produces_same_state_as_serial_21_under_given_interpretation(
+        self, figure1, figure1_h
+    ):
+        for initial in figure1.consistent_states:
+            h_final = final_globals(
+                figure1.system, figure1.interpretation, figure1_h, initial
+            )
+            serial_final = execute_serial(
+                figure1.system, figure1.interpretation, [2, 1], initial
+            ).globals_
+            assert h_final == serial_final
+
+    def test_h_is_weakly_but_not_herbrand_serializable(self, figure1, figure1_h):
+        assert not is_serializable(figure1.system, figure1_h)
+        assert is_weakly_serializable(
+            figure1.system,
+            figure1.interpretation,
+            figure1_h,
+            figure1.consistent_states,
+        )
+
+    def test_WSR_is_SR_plus_exactly_h(self, figure1, figure1_h):
+        wsr = set(
+            weakly_serializable_schedules(
+                figure1.system, figure1.interpretation, figure1.consistent_states
+            )
+        )
+        sr = {h for h in all_schedules(figure1.system) if is_serializable(figure1.system, h)}
+        assert wsr - sr == {figure1_h}
+
+    def test_weak_scheduler_gains_exactly_one_history(self, figure1):
+        weak = WeakSerializationScheduler(figure1)
+        serialization = SerializationScheduler(figure1)
+        assert len(weak.fixpoint_set()) == len(serialization.fixpoint_set()) + 1
+
+    def test_total_history_count(self, figure1):
+        assert count_schedules(figure1.system) == 3
+
+
+class TestWeakSerializabilityProperties:
+    def test_serial_schedules_always_weakly_serializable(self, figure1):
+        for order in ([1, 2], [2, 1]):
+            schedule = serial_schedule(figure1.system.format, order)
+            assert is_weakly_serializable(
+                figure1.system,
+                figure1.interpretation,
+                schedule,
+                figure1.consistent_states,
+            )
+
+    def test_weak_serializability_quantifies_over_all_supplied_states(self, figure1, figure1_h):
+        # with an adversarially chosen extra state the check still passes for h,
+        # because h ≡ T2;T1 holds for *every* starting value of x
+        assert is_weakly_serializable(
+            figure1.system, figure1.interpretation, figure1_h, [{"x": v} for v in range(-3, 8)]
+        )
+
+    def test_concatenation_length_zero_only_accepts_identity_results(self, figure1, figure1_h):
+        # with max length 0 the only achievable state is the unchanged one,
+        # so h (which changes x) cannot be weakly serializable at that bound
+        assert not is_weakly_serializable(
+            figure1.system,
+            figure1.interpretation,
+            figure1_h,
+            figure1.consistent_states,
+            max_concatenation_length=0,
+        )
