@@ -1,0 +1,11 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so that ``python setup.py develop`` still works in offline
+environments without the ``wheel`` package (PEP 660 editable installs
+build a wheel; ``setup.py develop`` does not).  Networked environments
+should just ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

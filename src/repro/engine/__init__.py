@@ -15,9 +15,18 @@ must grant, delay, or reject (abort) it, in contrast with the static,
 whole-history schedulers of :mod:`repro.core.schedulers`.  The test suite
 cross-checks them against the static theory: every history of committed
 operations they produce is conflict-serializable.
+
+Both front-ends (untimed executor, timed simulator) drive the shared
+:mod:`repro.engine.kernel`, which owns session state and the event-driven
+wait index that wakes blocked requests from commit/abort notifications
+instead of polling them on a timer.  Storage can be sharded into
+independent conflict domains (:class:`ShardedDataStore`), and every layer
+records into a pluggable :class:`~repro.engine.metrics.Metrics` registry.
 """
 
-from repro.engine.storage import DataStore, Version
+from repro.engine.storage import DataStore, ShardedDataStore, Version
+from repro.engine.metrics import Counter, Histogram, Metrics
+from repro.engine.kernel import EngineKernel, Session, StepKind, StepResult
 from repro.engine.operations import (
     Operation,
     OperationKind,
@@ -37,7 +46,13 @@ from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
 from repro.engine.protocols.timestamp_ordering import TimestampOrdering
 from repro.engine.protocols.sgt import SerializationGraphTesting
 from repro.engine.protocols.occ import OptimisticConcurrencyControl
-from repro.engine.runtime import TransactionExecutor, ExecutionResult
+from repro.engine.runtime import (
+    TransactionExecutor,
+    ExecutionResult,
+    ShardedExecutionResult,
+    run_batch,
+    run_sharded_batch,
+)
 from repro.engine.simulator import (
     Simulator,
     SimulationConfig,
@@ -51,11 +66,26 @@ from repro.engine.workloads import (
     hotspot_workload,
     zipfian_workload,
     readonly_heavy_workload,
+    zipfian_hotspot_workload,
+    read_mostly_workload,
+    partitioned_workload,
+    zipfian_hotspot_generator,
+    read_mostly_generator,
+    partitioned_generator,
+    partition_of,
 )
 
 __all__ = [
     "DataStore",
+    "ShardedDataStore",
     "Version",
+    "Counter",
+    "Histogram",
+    "Metrics",
+    "EngineKernel",
+    "Session",
+    "StepKind",
+    "StepResult",
     "Operation",
     "OperationKind",
     "TransactionSpec",
@@ -73,6 +103,9 @@ __all__ = [
     "OptimisticConcurrencyControl",
     "TransactionExecutor",
     "ExecutionResult",
+    "ShardedExecutionResult",
+    "run_batch",
+    "run_sharded_batch",
     "Simulator",
     "SimulationConfig",
     "SimulationReport",
@@ -83,4 +116,11 @@ __all__ = [
     "hotspot_workload",
     "zipfian_workload",
     "readonly_heavy_workload",
+    "zipfian_hotspot_workload",
+    "read_mostly_workload",
+    "partitioned_workload",
+    "zipfian_hotspot_generator",
+    "read_mostly_generator",
+    "partitioned_generator",
+    "partition_of",
 ]

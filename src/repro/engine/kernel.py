@@ -1,0 +1,315 @@
+"""The shared engine kernel: session state, protocol driving, wakeups.
+
+Both engine front-ends — the untimed :class:`~repro.engine.runtime.
+TransactionExecutor` and the timed :class:`~repro.engine.simulator.
+Simulator` — used to duplicate the same logic: allocate transaction ids,
+drive one protocol interaction per step (begin / data operation /
+commit), buffer reads for UPDATE transforms, and restart after aborts.
+This module hoists that logic into one kernel so the front-ends only
+decide *policy*: interleaving order for the executor, simulated time for
+the simulator.
+
+The kernel's second job is **event-driven blocking**.  A ``BLOCK``
+decision names the transactions it waits for (``Decision.blocked_on``);
+the kernel records the blocked session in a *wait index* keyed by
+blocker, subscribes to the protocol's finished/wake notifications, and
+wakes exactly the sessions whose blockers resolved.  Callers that use the
+wait index never poll a blocked request on a timer — the scaling win that
+lets simulations run hundreds of clients.  Callers may also ignore the
+parked flag and re-drive blocked sessions on a timer (the compatibility
+"polling" mode); the kernel transparently un-parks a session that is
+stepped while waiting.
+
+Wakeups use broadcast semantics: a session wakes as soon as *any* of its
+recorded blockers finishes.  A retry may then block again on a remaining
+holder — one cheap extra interaction — but the kernel never has to prove
+that every blocker will resolve, which keeps it robust against lock
+queues whose holder set changes while a session waits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from repro.engine.metrics import Metrics
+from repro.engine.operations import Operation, OperationKind, TransactionSpec
+from repro.engine.protocols.base import ConcurrencyControl, Decision
+
+
+@dataclass
+class Session:
+    """One submitted transaction as the engine sees it (across restarts).
+
+    The executor keeps one session per submitted spec; the simulator
+    reuses one session per client terminal, installing a fresh spec via
+    :meth:`begin_new` for every generated transaction.
+    """
+
+    spec: Optional[TransactionSpec]
+    session_id: int
+    txn_id: Optional[int] = None
+    op_index: int = 0
+    reads: Dict[str, Any] = field(default_factory=dict)
+    attempts: int = 0
+    committed: bool = False
+    given_up: bool = False
+    blocks: int = 0
+    operations_issued: int = 0
+    #: rounds to sit out after an abort (linear backoff breaks livelock
+    #: patterns where restarting transactions keep recreating the same
+    #: deadlock against each other) — used by the untimed executor only.
+    cooldown: int = 0
+    #: event-driven state: True while parked in the kernel's wait index.
+    waiting: bool = False
+    #: the blockers this session is currently parked on.
+    waiting_on: Set[int] = field(default_factory=set)
+
+    def reset_for_restart(self) -> None:
+        self.txn_id = None
+        self.op_index = 0
+        self.reads = {}
+        self.cooldown = self.attempts
+
+    def begin_new(self, spec: TransactionSpec) -> None:
+        """Install a fresh transaction program (simulator client reuse)."""
+        self.spec = spec
+        self.txn_id = None
+        self.op_index = 0
+        self.reads = {}
+        self.attempts = 0
+        self.committed = False
+        self.given_up = False
+
+    @property
+    def finished(self) -> bool:
+        return self.committed or self.given_up
+
+
+class StepKind(enum.Enum):
+    """What one kernel step did to a session."""
+
+    STARTED = "started"      # transaction began (no data request issued)
+    GRANTED = "granted"      # a data operation was granted
+    BLOCKED = "blocked"      # the request must wait
+    COMMITTED = "committed"  # the commit request was granted
+    ABORTED = "aborted"      # the attempt aborted (caller decides restart)
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """The outcome of driving a session by one protocol interaction."""
+
+    kind: StepKind
+    decision: Optional[Decision] = None
+    #: whether the interaction was a commit request (vs. a data operation)
+    was_commit: bool = False
+    #: BLOCKED only: True if the session is parked in the wait index and
+    #: will be woken by a notification; False means the caller must retry
+    #: on its own schedule (no live blockers were named).
+    parked: bool = False
+
+    @property
+    def progressed(self) -> bool:
+        return self.kind in (StepKind.STARTED, StepKind.GRANTED, StepKind.COMMITTED)
+
+
+class EngineKernel:
+    """Drive sessions through a protocol; wake blocked sessions on events.
+
+    Parameters
+    ----------
+    protocol:
+        The online concurrency-control protocol to drive.
+    metrics:
+        Shared instrumentation registry; defaults to the protocol's own
+        registry so kernel and protocol metrics land in one report.
+    """
+
+    def __init__(
+        self,
+        protocol: ConcurrencyControl,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.protocol = protocol
+        if metrics is None:
+            self.metrics = protocol.metrics
+        else:
+            # one registry for the whole stack: the protocol adopts the
+            # caller's registry so kernel and protocol metrics land together
+            self.metrics = metrics
+            protocol.metrics = metrics
+        self._next_txn_id = 1
+        self._session_by_txn: Dict[int, Session] = {}
+        #: wait index: blocker transaction id -> sessions parked on it
+        self._waiters: Dict[int, Set[int]] = {}
+        self._sessions: Dict[int, Session] = {}
+        #: called when a parked session becomes runnable again; set by the
+        #: front-end (the simulator schedules an event, the executor
+        #: relies on the cleared ``waiting`` flag).
+        self.wake_sink: Optional[Callable[[Session], None]] = None
+        protocol.add_finish_listener(self._on_txn_finished)
+        protocol.add_wake_listener(self._on_wake_request)
+
+    # ------------------------------------------------------------------
+    # session management
+    # ------------------------------------------------------------------
+    def register(self, session: Session) -> Session:
+        self._sessions[session.session_id] = session
+        return session
+
+    def new_session(self, spec: Optional[TransactionSpec], session_id: int) -> Session:
+        return self.register(Session(spec=spec, session_id=session_id))
+
+    def restart(self, session: Session) -> None:
+        """Reset a session for a fresh attempt after an abort."""
+        if session.txn_id is not None:
+            self._session_by_txn.pop(session.txn_id, None)
+        self._unpark(session)
+        session.reset_for_restart()
+        self.metrics.incr("kernel.restarts")
+
+    # ------------------------------------------------------------------
+    # the one-step state machine shared by executor and simulator
+    # ------------------------------------------------------------------
+    def step(self, session: Session) -> StepResult:
+        """Advance a session by exactly one protocol interaction."""
+        if session.spec is None:
+            raise ValueError("cannot step a session with no transaction program")
+        if session.waiting:
+            # being driven by a timer retry (polling mode) or after a wake:
+            # either way it is no longer parked.
+            self._unpark(session)
+
+        if session.txn_id is None:
+            session.txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            session.attempts += 1
+            self._session_by_txn[session.txn_id] = session
+            self.protocol.begin(session.txn_id)
+            return StepResult(StepKind.STARTED)
+
+        txn_id = session.txn_id
+        if session.op_index >= len(session.spec):
+            decision = self.protocol.commit(txn_id)
+            if decision.granted:
+                session.committed = True
+                self._session_by_txn.pop(txn_id, None)
+                return StepResult(StepKind.COMMITTED, decision, was_commit=True)
+            if decision.blocked:
+                session.blocks += 1
+                parked = self._park(session, decision)
+                return StepResult(
+                    StepKind.BLOCKED, decision, was_commit=True, parked=parked
+                )
+            self._abort(session)
+            return StepResult(StepKind.ABORTED, decision, was_commit=True)
+
+        operation = session.spec.operations[session.op_index]
+        decision = self._issue(txn_id, operation, session)
+        session.operations_issued += 1
+        if decision.granted:
+            session.op_index += 1
+            return StepResult(StepKind.GRANTED, decision)
+        if decision.blocked:
+            session.blocks += 1
+            parked = self._park(session, decision)
+            return StepResult(StepKind.BLOCKED, decision, parked=parked)
+        self._abort(session)
+        return StepResult(StepKind.ABORTED, decision)
+
+    def _issue(self, txn_id: int, operation: Operation, session: Session) -> Decision:
+        if operation.kind is OperationKind.READ:
+            decision = self.protocol.read(txn_id, operation.key)
+            if decision.granted:
+                session.reads[operation.key] = decision.value
+            return decision
+        if operation.kind is OperationKind.UPDATE:
+            decision = self.protocol.read(txn_id, operation.key)
+            if not decision.granted:
+                return decision
+            session.reads[operation.key] = decision.value
+            new_value = operation.transform(dict(session.reads))
+            return self.protocol.write(txn_id, operation.key, new_value)
+        # blind write
+        new_value = operation.transform(dict(session.reads))
+        return self.protocol.write(txn_id, operation.key, new_value)
+
+    def _abort(self, session: Session) -> None:
+        txn_id = session.txn_id
+        self.protocol.abort(txn_id)
+        self._session_by_txn.pop(txn_id, None)
+
+    # ------------------------------------------------------------------
+    # the wait index
+    # ------------------------------------------------------------------
+    def _park(self, session: Session, decision: Decision) -> bool:
+        """Record a blocked session under its live blockers.
+
+        Returns True if parked (a notification will wake it); False if no
+        blocker is still active, in which case the caller must retry on
+        its own schedule.
+        """
+        blockers = {
+            blocker
+            for blocker in decision.blocked_on
+            if blocker in self.protocol.active and blocker != session.txn_id
+        }
+        if not blockers:
+            return False
+        session.waiting = True
+        session.waiting_on = blockers
+        for blocker in blockers:
+            queue = self._waiters.setdefault(blocker, set())
+            queue.add(session.session_id)
+            # block height à la the geods-analyze profiler: how many
+            # sessions are stacked up behind this blocker right now.
+            self.metrics.observe("kernel.block_height", len(queue))
+        self.metrics.incr("kernel.parks")
+        return True
+
+    def _unpark(self, session: Session) -> None:
+        if not session.waiting and not session.waiting_on:
+            return
+        for blocker in session.waiting_on:
+            queue = self._waiters.get(blocker)
+            if queue is not None:
+                queue.discard(session.session_id)
+                if not queue:
+                    self._waiters.pop(blocker, None)
+        session.waiting_on = set()
+        session.waiting = False
+
+    def _wake(self, session: Session) -> None:
+        self._unpark(session)
+        self.metrics.incr("kernel.wakeups")
+        if self.wake_sink is not None:
+            self.wake_sink(session)
+
+    def _on_txn_finished(self, txn_id: int, outcome: str) -> None:
+        self._session_by_txn.pop(txn_id, None)
+        waiter_ids = self._waiters.pop(txn_id, None)
+        if not waiter_ids:
+            return
+        # deterministic wake order regardless of set iteration details
+        for session_id in sorted(waiter_ids):
+            session = self._sessions.get(session_id)
+            if session is not None and session.waiting:
+                self._wake(session)
+
+    def _on_wake_request(self, txn_id: int) -> None:
+        session = self._session_by_txn.get(txn_id)
+        if session is not None and session.waiting:
+            self._wake(session)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def waiting_sessions(self) -> List[Session]:
+        """The sessions currently parked in the wait index."""
+        return [s for s in self._sessions.values() if s.waiting]
+
+    def blocked_behind(self, txn_id: int) -> Set[int]:
+        """Session ids parked behind a given transaction."""
+        return set(self._waiters.get(txn_id, set()))

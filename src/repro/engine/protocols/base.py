@@ -19,6 +19,16 @@ and every commit to :attr:`ConcurrencyControl.committed`; the test suite
 uses these to verify, protocol by protocol, that the committed projection
 of the produced history is conflict-serializable — the bridge back to the
 paper's theory.
+
+Protocols also *notify*: the engine kernel subscribes via
+:meth:`ConcurrencyControl.add_finish_listener` to learn the moment a
+transaction leaves the system (commit or abort) so it can wake exactly
+the requests blocked on it, and via
+:meth:`ConcurrencyControl.add_wake_listener` to learn when the protocol
+wants a specific transaction re-driven immediately (e.g. a deadlock
+victim that must come back to receive its abort).  These hooks are what
+make event-driven blocking possible — without them the callers must poll
+blocked requests on a timer.
 """
 
 from __future__ import annotations
@@ -26,8 +36,9 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.engine.metrics import Metrics
 from repro.engine.storage import DataStore
 
 
@@ -106,8 +117,9 @@ class ConcurrencyControl(abc.ABC):
 
     name = "abstract"
 
-    def __init__(self, store: DataStore) -> None:
+    def __init__(self, store: DataStore, metrics: Optional[Metrics] = None) -> None:
         self.store = store
+        self.metrics = metrics if metrics is not None else Metrics()
         self.log: List[LogRecord] = []
         self.committed: Set[int] = set()
         self.aborted: Set[int] = set()
@@ -124,6 +136,39 @@ class ConcurrencyControl(abc.ABC):
             "commits": 0,
         }
         self._sequence = 0
+        #: subscribers told when a transaction leaves the system; each is
+        #: called as ``listener(txn_id, outcome)`` with outcome "commit" or
+        #: "abort" — the kernel's wakeup source.
+        self._finish_listeners: List[Callable[[int, str], None]] = []
+        #: subscribers told when the protocol wants a transaction re-driven
+        #: right away (deadlock victims chosen while blocked).
+        self._wake_listeners: List[Callable[[int], None]] = []
+
+    # ------------------------------------------------------------------
+    # notifications (the event-driven kernel's wakeup source)
+    # ------------------------------------------------------------------
+    def add_finish_listener(self, listener: Callable[[int, str], None]) -> None:
+        """Subscribe to transaction-finished events (commit or abort)."""
+        self._finish_listeners.append(listener)
+
+    def add_wake_listener(self, listener: Callable[[int], None]) -> None:
+        """Subscribe to explicit wake requests for specific transactions."""
+        self._wake_listeners.append(listener)
+
+    def _notify_finished(self, txn_id: int, outcome: str) -> None:
+        for listener in self._finish_listeners:
+            listener(txn_id, outcome)
+
+    def request_wake(self, txn_id: int) -> None:
+        """Ask the caller to re-drive ``txn_id`` immediately.
+
+        Used by protocols whose decisions can change while a transaction
+        is *not* interacting — e.g. 2PL choosing a blocked transaction as
+        a deadlock victim: the victim learns of its doom only at its next
+        request, so an event-driven caller must be told to issue one.
+        """
+        for listener in self._wake_listeners:
+            listener(txn_id)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -145,6 +190,7 @@ class ConcurrencyControl(abc.ABC):
             decision = Decision.grant(value)
             self._record(txn_id, "read", key)
             self.stats["reads_granted"] += 1
+            self.metrics.incr("protocol.reads_granted")
         else:
             self._count(decision)
         return decision
@@ -158,6 +204,7 @@ class ConcurrencyControl(abc.ABC):
                 self.write_buffers[txn_id][key] = value
                 self._record(txn_id, "write", key)
             self.stats["writes_granted"] += 1
+            self.metrics.incr("protocol.writes_granted")
         else:
             self._count(decision)
         return decision
@@ -174,7 +221,9 @@ class ConcurrencyControl(abc.ABC):
             self.active.discard(txn_id)
             self.write_buffers.pop(txn_id, None)
             self.stats["commits"] += 1
+            self.metrics.incr("protocol.commits")
             self.on_finished(txn_id)
+            self._notify_finished(txn_id, "commit")
         else:
             self._count(decision)
         return decision
@@ -188,6 +237,7 @@ class ConcurrencyControl(abc.ABC):
         self.write_buffers.pop(txn_id, None)
         self.on_abort(txn_id)
         self.on_finished(txn_id)
+        self._notify_finished(txn_id, "abort")
 
     # ------------------------------------------------------------------
     # protocol-specific hooks
@@ -229,8 +279,10 @@ class ConcurrencyControl(abc.ABC):
     def _count(self, decision: Decision) -> None:
         if decision.blocked:
             self.stats["blocks"] += 1
+            self.metrics.incr("protocol.blocks")
         elif decision.aborted:
             self.stats["aborts"] += 1
+            self.metrics.incr("protocol.aborts")
 
     def _require_active(self, txn_id: int) -> None:
         if txn_id not in self.active:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.engine.metrics import Metrics
 from repro.engine.protocols.base import ConcurrencyControl, Decision
 from repro.engine.storage import DataStore
 
@@ -38,8 +39,13 @@ class OptimisticConcurrencyControl(ConcurrencyControl):
 
     name = "occ"
 
-    def __init__(self, store: DataStore, history_limit: int = 10_000) -> None:
-        super().__init__(store)
+    def __init__(
+        self,
+        store: DataStore,
+        history_limit: int = 10_000,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        super().__init__(store, metrics=metrics)
         #: start number of each active transaction = how many commits it has seen
         self._start_number: Dict[int, int] = {}
         self._read_sets: Dict[int, Set[str]] = {}
@@ -74,6 +80,7 @@ class OptimisticConcurrencyControl(ConcurrencyControl):
             overlap = footprint.write_set & read_set
             if overlap:
                 self.validation_failures += 1
+                self.metrics.incr("occ.validation_failures")
                 return Decision.abort(
                     f"validation failed against T{footprint.txn_id} on {sorted(overlap)}"
                 )

@@ -17,8 +17,9 @@ paper observes a lock-based scheduler cannot have (Section 5.3).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.engine.metrics import Metrics
 from repro.engine.protocols.base import ConcurrencyControl, Decision
 from repro.engine.storage import DataStore
 from repro.util.graphs import DiGraph, WaitForGraph
@@ -29,8 +30,13 @@ class SerializationGraphTesting(ConcurrencyControl):
 
     name = "sgt"
 
-    def __init__(self, store: DataStore, prune_committed: bool = True) -> None:
-        super().__init__(store)
+    def __init__(
+        self,
+        store: DataStore,
+        prune_committed: bool = True,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        super().__init__(store, metrics=metrics)
         #: conflict graph over transactions; nodes are removed only once it is
         #: safe to forget them (committed with no live predecessors).
         self.graph = DiGraph()
@@ -93,6 +99,7 @@ class SerializationGraphTesting(ConcurrencyControl):
         edges = self._edges_for(txn_id, key, is_write)
         if self._would_cycle(edges):
             self.cycles_prevented += 1
+            self.metrics.incr("sgt.cycles_prevented")
             return Decision.abort(
                 f"serialization-graph cycle on {key!r} ({'write' if is_write else 'read'})"
             )

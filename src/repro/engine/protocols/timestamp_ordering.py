@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set, Tuple
 
+from repro.engine.metrics import Metrics
 from repro.engine.protocols.base import ConcurrencyControl, Decision
 from repro.engine.storage import DataStore
 
@@ -39,8 +40,13 @@ class TimestampOrdering(ConcurrencyControl):
 
     name = "timestamp-ordering"
 
-    def __init__(self, store: DataStore, thomas_write_rule: bool = False) -> None:
-        super().__init__(store)
+    def __init__(
+        self,
+        store: DataStore,
+        thomas_write_rule: bool = False,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        super().__init__(store, metrics=metrics)
         self.thomas_write_rule = thomas_write_rule
         self._timestamps: Dict[str, KeyTimestamps] = {}
         self._txn_ts: Dict[int, int] = {}
@@ -109,6 +115,7 @@ class TimestampOrdering(ConcurrencyControl):
             if self.thomas_write_rule:
                 # Obsolete write: skip it silently (do not buffer), but grant.
                 self.skipped_writes += 1
+                self.metrics.incr("to.skipped_writes")
                 return Decision.grant_without_effect("Thomas write rule")
             return Decision.abort(
                 f"write too late: ts({txn_id})={ts} < wts({key!r})={key_ts.write_ts}"

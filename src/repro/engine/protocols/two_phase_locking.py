@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.engine.metrics import Metrics
 from repro.engine.protocols.base import ConcurrencyControl, Decision
 from repro.engine.storage import DataStore
 from repro.util.graphs import WaitForGraph
@@ -78,8 +79,13 @@ class StrictTwoPhaseLocking(ConcurrencyControl):
 
     name = "strict-2pl"
 
-    def __init__(self, store: DataStore, deadlock_victim: str = "requester") -> None:
-        super().__init__(store)
+    def __init__(
+        self,
+        store: DataStore,
+        deadlock_victim: str = "requester",
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        super().__init__(store, metrics=metrics)
         if deadlock_victim not in ("requester", "youngest"):
             raise ValueError("deadlock_victim must be 'requester' or 'youngest'")
         self.deadlock_victim = deadlock_victim
@@ -136,13 +142,16 @@ class StrictTwoPhaseLocking(ConcurrencyControl):
         cycle = self._wait_for.deadlocked_transactions()
         if cycle and txn_id in cycle:
             self.deadlocks_detected += 1
+            self.metrics.incr("2pl.deadlocks")
             victim = self._choose_victim(cycle, requester=txn_id)
             if victim == txn_id:
                 self._wait_for.remove_transaction(txn_id)
                 return Decision.abort(f"deadlock on {key!r}")
             self._doomed.add(victim)
-            # The requester keeps waiting; the victim will abort when it
-            # next interacts with the protocol (or at commit).
+            # The requester keeps waiting; the victim learns of its doom at
+            # its next request — which a polling caller issues on a timer,
+            # but an event-driven caller must be told to issue now.
+            self.request_wake(victim)
             return Decision.block(blocked_on=tuple(blockers), reason=f"lock on {key!r}")
         return Decision.block(blocked_on=tuple(blockers), reason=f"lock on {key!r}")
 

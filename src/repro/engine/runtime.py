@@ -8,7 +8,9 @@ correctness testing and for "how many requests had to wait / abort"
 counting; the timed view (arrivals, latencies) lives in
 :mod:`repro.engine.simulator`.
 
-Interleaving is controlled by ``interleaving``:
+Session state and the per-step protocol interaction live in the shared
+:mod:`repro.engine.kernel`; the executor only decides *which* session
+advances next.  Interleaving is controlled by ``interleaving``:
 
 * ``"round-robin"`` — each live transaction advances one operation per
   round (the densest fair interleaving);
@@ -16,47 +18,30 @@ Interleaving is controlled by ``interleaving``:
   the supplied seed (matches the paper's "requests arrive in any order");
 * ``"serial"`` — each transaction runs to completion before the next
   starts (the baseline of Section 1).
+
+Blocked sessions are handled by ``wait_policy``:
+
+* ``"event"`` (default) — a blocked session is parked in the kernel's
+  wait index and skipped until one of its blockers commits or aborts;
+* ``"polling"`` — the pre-kernel compatibility behaviour: a blocked
+  session is retried every round regardless.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.engine.operations import Operation, OperationKind, TransactionSpec
-from repro.engine.protocols.base import ConcurrencyControl, Decision, TransactionAborted
-from repro.engine.storage import DataStore
+from repro.engine.kernel import EngineKernel, Session, StepKind
+from repro.engine.metrics import Metrics
+from repro.engine.operations import TransactionSpec
+from repro.engine.protocols.base import ConcurrencyControl, TransactionAborted
+from repro.engine.storage import DataStore, ShardedDataStore
 
 
 class ExecutionStuck(RuntimeError):
     """Raised if no live transaction can make progress (should not happen)."""
-
-
-@dataclass
-class _Session:
-    """The executor's view of one submitted transaction (across restarts)."""
-
-    spec: TransactionSpec
-    session_id: int
-    txn_id: Optional[int] = None
-    op_index: int = 0
-    reads: Dict[str, Any] = field(default_factory=dict)
-    attempts: int = 0
-    committed: bool = False
-    given_up: bool = False
-    blocks: int = 0
-    operations_issued: int = 0
-    #: rounds to sit out after an abort (linear backoff breaks livelock
-    #: patterns where restarting transactions keep recreating the same
-    #: deadlock against each other)
-    cooldown: int = 0
-
-    def reset_for_restart(self) -> None:
-        self.txn_id = None
-        self.op_index = 0
-        self.reads = {}
-        self.cooldown = self.attempts
 
 
 @dataclass
@@ -73,6 +58,7 @@ class ExecutionResult:
     store_snapshot: Dict[str, Any]
     committed_serializable: bool
     per_transaction: Dict[str, Dict[str, int]]
+    metrics: Optional[Metrics] = None
 
     @property
     def total_submitted(self) -> int:
@@ -101,34 +87,48 @@ class TransactionExecutor:
         interleaving: str = "round-robin",
         seed: Optional[int] = None,
         max_concurrent: Optional[int] = None,
+        wait_policy: str = "event",
+        metrics: Optional[Metrics] = None,
     ) -> None:
         if interleaving not in ("round-robin", "random", "serial"):
             raise ValueError(
                 "interleaving must be 'round-robin', 'random' or 'serial'"
             )
+        if wait_policy not in ("event", "polling"):
+            raise ValueError("wait_policy must be 'event' or 'polling'")
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError("max_concurrent must be at least 1")
         self.protocol = protocol
+        self.kernel = EngineKernel(protocol, metrics=metrics)
+        self.metrics = self.kernel.metrics
+        #: set by the kernel when a parked session is woken mid-round; a
+        #: wakeup makes that session runnable next round, so it counts as
+        #: progress for the stuck detector.
+        self._woke_session = False
+        self.kernel.wake_sink = self._note_wake
         self.max_attempts = max_attempts
         self.interleaving = interleaving
+        self.wait_policy = wait_policy
         #: multiprogramming level: how many transactions may be in flight at
         #: once (None = all submitted transactions run concurrently).
         self.max_concurrent = max_concurrent
         self.rng = random.Random(seed)
-        self._next_txn_id = 1
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[TransactionSpec]) -> ExecutionResult:
         """Execute all specs to completion (commit or giving up) and report."""
-        sessions = [_Session(spec=spec, session_id=i) for i, spec in enumerate(specs)]
+        sessions = [
+            self.kernel.new_session(spec, session_id=i) for i, spec in enumerate(specs)
+        ]
         restarts = 0
         aborted_attempts = 0
 
         live = list(sessions)
         while live:
             progressed = False
+            self._woke_session = False
             admitted = (
                 live
                 if self.max_concurrent is None
@@ -136,11 +136,15 @@ class TransactionExecutor:
             )
             order = self._ordering(admitted)
             for session in order:
-                if session.committed or session.given_up:
+                if session.finished:
                     continue
                 if session.cooldown > 0:
                     session.cooldown -= 1
                     progressed = True
+                    continue
+                if self.wait_policy == "event" and session.waiting:
+                    # parked in the wait index: a commit/abort notification
+                    # will clear the flag — no point re-asking the protocol.
                     continue
                 advanced, aborted = self._advance(session)
                 if aborted:
@@ -149,14 +153,12 @@ class TransactionExecutor:
                         session.given_up = True
                     else:
                         restarts += 1
-                        session.reset_for_restart()
+                        self.kernel.restart(session)
                 if advanced or aborted:
                     progressed = True
-                if self.interleaving == "serial" and not (
-                    session.committed or session.given_up
-                ):
+                if self.interleaving == "serial" and not session.finished:
                     # keep driving the same transaction until it finishes
-                    while not (session.committed or session.given_up):
+                    while not session.finished:
                         advanced, aborted = self._advance(session)
                         if aborted:
                             aborted_attempts += 1
@@ -164,12 +166,12 @@ class TransactionExecutor:
                                 session.given_up = True
                             else:
                                 restarts += 1
-                                session.reset_for_restart()
+                                self.kernel.restart(session)
                         if not advanced and not aborted:
                             break
                     progressed = True
-            live = [s for s in sessions if not (s.committed or s.given_up)]
-            if live and not progressed:
+            live = [s for s in sessions if not s.finished]
+            if live and not (progressed or self._woke_session):
                 raise ExecutionStuck(
                     f"no progress with {len(live)} live transactions under "
                     f"{self.protocol.name}"
@@ -195,72 +197,33 @@ class TransactionExecutor:
             store_snapshot=self.protocol.store.snapshot(),
             committed_serializable=self.protocol.committed_history_serializable(),
             per_transaction=per_transaction,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _ordering(self, live: List[_Session]) -> List[_Session]:
+    def _note_wake(self, session: Session) -> None:
+        self._woke_session = True
+
+    def _ordering(self, live: List[Session]) -> List[Session]:
         if self.interleaving == "random":
             order = list(live)
             self.rng.shuffle(order)
             return order
         return list(live)
 
-    def _advance(self, session: _Session) -> Tuple[bool, bool]:
-        """Advance a session by one protocol interaction.
+    def _advance(self, session: Session) -> Tuple[bool, bool]:
+        """Advance a session by one kernel step.
 
         Returns ``(progressed, aborted_this_attempt)``.
         """
-        if session.txn_id is None:
-            session.txn_id = self._next_txn_id
-            self._next_txn_id += 1
-            session.attempts += 1
-            self.protocol.begin(session.txn_id)
-            return True, False
-
-        txn_id = session.txn_id
-        if session.op_index >= len(session.spec):
-            decision = self.protocol.commit(txn_id)
-            if decision.granted:
-                session.committed = True
-                return True, False
-            if decision.blocked:
-                session.blocks += 1
-                return False, False
-            self.protocol.abort(txn_id)
-            return True, True
-
-        operation = session.spec.operations[session.op_index]
-        decision = self._issue(txn_id, operation, session)
-        session.operations_issued += 1
-        if decision.granted:
-            session.op_index += 1
-            return True, False
-        if decision.blocked:
-            session.blocks += 1
+        result = self.kernel.step(session)
+        if result.kind is StepKind.BLOCKED:
             return False, False
-        self.protocol.abort(txn_id)
-        return True, True
-
-    def _issue(
-        self, txn_id: int, operation: Operation, session: _Session
-    ) -> Decision:
-        if operation.kind is OperationKind.READ:
-            decision = self.protocol.read(txn_id, operation.key)
-            if decision.granted:
-                session.reads[operation.key] = decision.value
-            return decision
-        if operation.kind is OperationKind.UPDATE:
-            decision = self.protocol.read(txn_id, operation.key)
-            if not decision.granted:
-                return decision
-            session.reads[operation.key] = decision.value
-            new_value = operation.transform(dict(session.reads))
-            return self.protocol.write(txn_id, operation.key, new_value)
-        # blind write
-        new_value = operation.transform(dict(session.reads))
-        return self.protocol.write(txn_id, operation.key, new_value)
+        if result.kind is StepKind.ABORTED:
+            return True, True
+        return True, False
 
 
 def run_batch(
@@ -271,6 +234,7 @@ def run_batch(
     seed: Optional[int] = None,
     max_attempts: int = 50,
     max_concurrent: Optional[int] = None,
+    wait_policy: str = "event",
 ) -> ExecutionResult:
     """Convenience helper: build the protocol on ``store`` and run the batch."""
     protocol = protocol_factory(store)
@@ -280,5 +244,95 @@ def run_batch(
         interleaving=interleaving,
         seed=seed,
         max_concurrent=max_concurrent,
+        wait_policy=wait_policy,
     )
     return executor.run(specs)
+
+
+# ----------------------------------------------------------------------
+# sharded execution: one protocol instance per conflict domain
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ShardedExecutionResult:
+    """Aggregate of per-shard executions over a :class:`ShardedDataStore`."""
+
+    per_shard: Dict[int, ExecutionResult]
+    store_snapshot: Dict[str, Any]
+
+    @property
+    def committed(self) -> int:
+        return sum(r.committed for r in self.per_shard.values())
+
+    @property
+    def restarts(self) -> int:
+        return sum(r.restarts for r in self.per_shard.values())
+
+    @property
+    def blocks(self) -> int:
+        return sum(r.blocks for r in self.per_shard.values())
+
+    @property
+    def gave_up(self) -> int:
+        return sum(r.gave_up for r in self.per_shard.values())
+
+    @property
+    def committed_serializable(self) -> bool:
+        return all(r.committed_serializable for r in self.per_shard.values())
+
+    def merged_metrics(self) -> Metrics:
+        merged = Metrics()
+        for result in self.per_shard.values():
+            if result.metrics is not None:
+                merged.merge(result.metrics)
+        return merged
+
+
+def run_sharded_batch(
+    protocol_factory,
+    store: ShardedDataStore,
+    specs: Sequence[TransactionSpec],
+    interleaving: str = "round-robin",
+    seed: Optional[int] = None,
+    max_attempts: int = 50,
+    max_concurrent: Optional[int] = None,
+    wait_policy: str = "event",
+) -> ShardedExecutionResult:
+    """Execute a batch with one protocol instance per shard.
+
+    Each shard of a :class:`~repro.engine.storage.ShardedDataStore` is an
+    independent conflict domain: transactions confined to one shard never
+    conflict with transactions on another, so each shard gets its own
+    protocol instance over its own sub-store and the shards execute
+    independently.  A spec whose footprint spans shards is rejected —
+    cross-shard transactions would need a commit coordinator, which the
+    single-scheduler model of the paper deliberately excludes.
+    """
+    groups: Dict[int, List[TransactionSpec]] = {}
+    for spec in specs:
+        touched = set(spec.keys_read()) | set(spec.keys_written())
+        shards = {store.shard_of(key) for key in touched}
+        if len(shards) != 1:
+            raise ValueError(
+                f"transaction {spec.name!r} spans shards {sorted(shards)}; "
+                "sharded execution requires single-shard transactions"
+            )
+        groups.setdefault(shards.pop(), []).append(spec)
+
+    per_shard: Dict[int, ExecutionResult] = {}
+    for shard_index in sorted(groups):
+        shard_seed = None if seed is None else seed + shard_index
+        per_shard[shard_index] = run_batch(
+            protocol_factory,
+            store.shard(shard_index),
+            groups[shard_index],
+            interleaving=interleaving,
+            seed=shard_seed,
+            max_attempts=max_attempts,
+            max_concurrent=max_concurrent,
+            wait_policy=wait_policy,
+        )
+    return ShardedExecutionResult(
+        per_shard=per_shard, store_snapshot=store.snapshot()
+    )

@@ -12,26 +12,41 @@ running the step).  This simulator realises that decomposition:
   ``scheduling_time`` time units (requests queue for the scheduler —
   scheduling times of different users cannot overlap, as in the paper);
 * a granted data operation then takes ``execution_time`` units;
-* a blocked request waits and is retried after ``retry_interval`` (or as
-  soon as a transaction finishes, whichever comes first);
 * an aborted transaction restarts after ``abort_backoff``.
+
+Blocked requests are governed by ``SimulationConfig.wait_policy``:
+
+* ``"event"`` (default) — the blocked client is parked in the engine
+  kernel's wait index and woken the moment one of its blockers commits
+  or aborts.  No simulation events are spent re-asking the protocol, so
+  the event count — and hence wall-clock — stays proportional to useful
+  work even with hundreds of clients, and the measured waiting time is
+  exact rather than quantised to the retry interval.
+* ``"polling"`` — the pre-kernel compatibility mode: a blocked request
+  is retried every ``retry_interval`` time units.  Kept so that reports
+  produced before the kernel refactor remain reproducible.
+
+The per-step protocol interaction itself (begin / operation / commit /
+restart bookkeeping) lives in :mod:`repro.engine.kernel`, shared with the
+untimed executor.
 
 The report gives throughput, mean response time, the mean latency
 breakdown per committed transaction, abort counts and the *delay-free
 fraction* — the empirical counterpart of the fixpoint-set probability
-``|P| / |H|`` of Section 6.
+``|P| / |H|`` of Section 6 — plus the kernel/protocol metrics registry.
 """
 
 from __future__ import annotations
 
 import heapq
-import math
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.engine.operations import Operation, OperationKind, TransactionSpec
-from repro.engine.protocols.base import ConcurrencyControl, Decision
+from repro.engine.kernel import EngineKernel, Session, StepKind
+from repro.engine.metrics import Metrics
+from repro.engine.operations import TransactionSpec
+from repro.engine.protocols.base import ConcurrencyControl
 from repro.engine.storage import DataStore
 
 
@@ -48,6 +63,13 @@ class SimulationConfig:
     abort_backoff: float = 2.0
     max_attempts: int = 50
     seed: int = 0
+    #: "event" wakes blocked clients from commit/abort notifications;
+    #: "polling" retries them every ``retry_interval`` (compatibility).
+    wait_policy: str = "event"
+
+    def __post_init__(self) -> None:
+        if self.wait_policy not in ("event", "polling"):
+            raise ValueError("wait_policy must be 'event' or 'polling'")
 
 
 @dataclass
@@ -78,6 +100,9 @@ class SimulationReport:
     mean_breakdown: LatencyBreakdown
     committed_serializable: bool
     final_snapshot: Dict[str, Any]
+    wait_policy: str = "event"
+    metrics: Optional[Metrics] = None
+    events_processed: int = 0
 
     @property
     def throughput(self) -> float:
@@ -105,15 +130,9 @@ class SimulationReport:
 
 
 @dataclass
-class _ClientState:
-    """One terminal: its current transaction attempt and latency accounting."""
+class _ClientSession(Session):
+    """One terminal: a kernel session plus latency accounting."""
 
-    client_id: int
-    spec: Optional[TransactionSpec] = None
-    txn_id: Optional[int] = None
-    op_index: int = 0
-    reads: Dict[str, Any] = field(default_factory=dict)
-    attempts: int = 0
     submit_time: float = 0.0
     breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
     ever_delayed: bool = False
@@ -128,15 +147,22 @@ class Simulator:
         protocol: ConcurrencyControl,
         workload: Callable[[random.Random], TransactionSpec],
         config: Optional[SimulationConfig] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         self.protocol = protocol
         self.workload = workload
         self.config = config or SimulationConfig()
         self.rng = random.Random(self.config.seed)
+        self.kernel = EngineKernel(protocol, metrics=metrics)
+        self.metrics = self.kernel.metrics
+        self.kernel.wake_sink = self._on_wake
         self._events: List[Tuple[float, int, int]] = []  # (time, seq, client_id)
         self._seq = 0
-        self._next_txn_id = 1
         self._scheduler_free_at = 0.0
+        #: the simulated time at which in-flight protocol effects happen;
+        #: wakeups triggered while deciding a request are scheduled here.
+        self._effective_now = 0.0
+        self.events_processed = 0
         self.completed_breakdowns: List[LatencyBreakdown] = []
         self.response_times: List[float] = []
         self.delay_free = 0
@@ -155,20 +181,30 @@ class Simulator:
     def _think(self) -> float:
         return self.rng.expovariate(1.0 / self.config.think_time) if self.config.think_time else 0.0
 
+    def _on_wake(self, session: Session) -> None:
+        """Kernel wakeup: a blocker of this parked client resolved."""
+        if self.config.wait_policy != "event":
+            return  # polling clients already have a retry event queued
+        self._schedule(self._effective_now, session.session_id)
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationReport:
         """Run the simulation for the configured duration and report."""
         config = self.config
-        clients = [_ClientState(client_id=i) for i in range(config.num_clients)]
+        clients = [
+            self.kernel.register(_ClientSession(spec=None, session_id=i))
+            for i in range(config.num_clients)
+        ]
         for client in clients:
-            self._schedule(self._think(), client.client_id)
+            self._schedule(self._think(), client.session_id)
 
         while self._events:
             time, _, client_id = heapq.heappop(self._events)
             if time > config.duration:
                 break
+            self.events_processed += 1
             client = clients[client_id]
             next_time = self._step(client, time)
             if next_time is not None:
@@ -190,6 +226,9 @@ class Simulator:
             mean_breakdown=self._mean_breakdown(),
             committed_serializable=self.protocol.committed_history_serializable(),
             final_snapshot=self.protocol.store.snapshot(),
+            wait_policy=config.wait_policy,
+            metrics=self.metrics,
+            events_processed=self.events_processed,
         )
 
     def _mean_breakdown(self) -> LatencyBreakdown:
@@ -205,31 +244,27 @@ class Simulator:
     # ------------------------------------------------------------------
     # per-client progression
     # ------------------------------------------------------------------
-    def _step(self, client: _ClientState, now: float) -> Optional[float]:
+    def _step(self, client: _ClientSession, now: float) -> Optional[float]:
         """Advance one client at simulated time ``now``; return its next event time."""
         config = self.config
 
         if client.spec is None:
-            client.spec = self.workload(self.rng)
-            client.txn_id = None
-            client.op_index = 0
-            client.reads = {}
-            client.attempts = 0
+            client.begin_new(self.workload(self.rng))
             client.submit_time = now
             client.breakdown = LatencyBreakdown()
             client.ever_delayed = False
             client.wait_started = None
 
         if client.txn_id is None:
-            client.txn_id = self._next_txn_id
-            self._next_txn_id += 1
-            client.attempts += 1
-            self.protocol.begin(client.txn_id)
+            self._effective_now = now
+            self.kernel.step(client)  # begin: consumes no simulated time
             return now
 
         # account waiting time accrued since the last blocked attempt
         if client.wait_started is not None:
-            client.breakdown.waiting += now - client.wait_started
+            waited = now - client.wait_started
+            client.breakdown.waiting += waited
+            self.metrics.observe("sim.wait_time", waited)
             client.wait_started = None
 
         # occupy the centralized scheduler (a single shared resource)
@@ -239,78 +274,46 @@ class Simulator:
         self._scheduler_free_at = decision_time
         client.breakdown.scheduling += queueing + config.scheduling_time
 
-        if client.op_index >= len(client.spec):
-            decision = self.protocol.commit(client.txn_id)
-            return self._after_commit(client, decision, decision_time)
+        self._effective_now = decision_time
+        result = self.kernel.step(client)
+        if not result.was_commit:
+            self.operations += 1
 
-        operation = client.spec.operations[client.op_index]
-        decision = self._issue(client, operation)
-        self.operations += 1
-        return self._after_operation(client, decision, decision_time)
-
-    def _issue(self, client: _ClientState, operation: Operation) -> Decision:
-        txn_id = client.txn_id
-        if operation.kind is OperationKind.READ:
-            decision = self.protocol.read(txn_id, operation.key)
-            if decision.granted:
-                client.reads[operation.key] = decision.value
-            return decision
-        if operation.kind is OperationKind.UPDATE:
-            decision = self.protocol.read(txn_id, operation.key)
-            if not decision.granted:
-                return decision
-            client.reads[operation.key] = decision.value
-            value = operation.transform(dict(client.reads))
-            return self.protocol.write(txn_id, operation.key, value)
-        value = operation.transform(dict(client.reads))
-        return self.protocol.write(txn_id, operation.key, value)
-
-    def _after_operation(
-        self, client: _ClientState, decision: Decision, decision_time: float
-    ) -> float:
-        config = self.config
-        if decision.granted:
-            client.op_index += 1
+        if result.kind is StepKind.COMMITTED:
+            return self._finish_commit(client, decision_time)
+        if result.kind is StepKind.GRANTED:
             client.breakdown.execution += config.execution_time
             return decision_time + config.execution_time
-        if decision.blocked:
+        if result.kind is StepKind.BLOCKED:
             self.blocks += 1
             client.ever_delayed = True
             client.wait_started = decision_time
+            if config.wait_policy == "event" and result.parked:
+                # the kernel will wake us; no retry event needed
+                return None
             return decision_time + config.retry_interval
-        return self._abort_and_restart(client, decision_time)
+        return self._after_abort(client, decision_time)
 
-    def _after_commit(
-        self, client: _ClientState, decision: Decision, decision_time: float
-    ) -> float:
-        config = self.config
-        if decision.granted:
-            self.committed += 1
-            if not client.ever_delayed and client.attempts == 1:
-                self.delay_free += 1
-            self.response_times.append(decision_time - client.submit_time)
-            self.completed_breakdowns.append(client.breakdown)
-            client.spec = None
-            return decision_time + self._think()
-        if decision.blocked:
-            self.blocks += 1
-            client.ever_delayed = True
-            client.wait_started = decision_time
-            return decision_time + config.retry_interval
-        return self._abort_and_restart(client, decision_time)
+    def _finish_commit(self, client: _ClientSession, decision_time: float) -> float:
+        self.committed += 1
+        if not client.ever_delayed and client.attempts == 1:
+            self.delay_free += 1
+        response = decision_time - client.submit_time
+        self.response_times.append(response)
+        self.completed_breakdowns.append(client.breakdown)
+        self.metrics.observe("sim.response_time", response)
+        client.spec = None
+        return decision_time + self._think()
 
-    def _abort_and_restart(self, client: _ClientState, decision_time: float) -> float:
+    def _after_abort(self, client: _ClientSession, decision_time: float) -> float:
         config = self.config
         self.aborts += 1
         client.ever_delayed = True
-        self.protocol.abort(client.txn_id)
         if client.attempts >= config.max_attempts:
             # give up on this transaction and move on to a new one
             client.spec = None
             return decision_time + self._think()
-        client.txn_id = None
-        client.op_index = 0
-        client.reads = {}
+        self.kernel.restart(client)
         client.wait_started = decision_time
         return decision_time + config.abort_backoff
 

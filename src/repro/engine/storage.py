@@ -104,3 +104,132 @@ class DataStore:
         clone = DataStore()
         clone._data = dict(self._data)
         return clone
+
+
+class ShardedDataStore:
+    """A key-value store partitioned into independent shards.
+
+    Each shard is a full :class:`DataStore`; a deterministic
+    ``shard_of(key)`` function assigns every key to exactly one shard.
+    Because the engine's conflicts are per-key, the shards are disjoint
+    *conflict domains*: transactions confined to different shards can
+    never conflict, so a concurrency-control protocol can be instantiated
+    per shard (see :func:`repro.engine.runtime.run_sharded_batch`) and the
+    shards scheduled independently — the standard horizontal-scaling move
+    the paper's single centralized scheduler model invites.
+
+    The facade also implements the :class:`DataStore` read/write API by
+    delegating to the owning shard, so a ``ShardedDataStore`` can be
+    dropped in anywhere a plain store is expected.
+
+    Parameters
+    ----------
+    initial:
+        Initial contents, distributed across shards by ``shard_of``.
+    num_shards:
+        Number of shards (ignored when ``shard_of`` is given together
+        with ``num_shards``... the count still bounds the shard index).
+    shard_of:
+        Optional key -> shard index function; defaults to a stable hash
+        of the key name (``hash()`` is salted per process, so the default
+        uses a deterministic string fold instead).
+    """
+
+    def __init__(
+        self,
+        initial: Optional[Mapping[str, Any]] = None,
+        num_shards: int = 4,
+        shard_of: Optional[Any] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.num_shards = num_shards
+        self._shard_of = shard_of if shard_of is not None else self._default_shard_of
+        grouped: Dict[int, Dict[str, Any]] = {i: {} for i in range(num_shards)}
+        for key, value in (initial or {}).items():
+            grouped[self.shard_of(key)][key] = value
+        self._shards: Tuple[DataStore, ...] = tuple(
+            DataStore(grouped[i]) for i in range(num_shards)
+        )
+
+    def _default_shard_of(self, key: str) -> int:
+        # a deterministic string fold (djb2) — unlike built-in hash(),
+        # stable across processes so sharded runs are reproducible
+        acc = 5381
+        for ch in key:
+            acc = ((acc * 33) + ord(ch)) & 0xFFFFFFFF
+        return acc % self.num_shards
+
+    # ------------------------------------------------------------------
+    # shard topology
+    # ------------------------------------------------------------------
+    def shard_of(self, key: str) -> int:
+        """The shard index owning ``key``."""
+        index = self._shard_of(key)
+        if not 0 <= index < self.num_shards:
+            raise ValueError(
+                f"shard_of({key!r}) = {index} out of range [0, {self.num_shards})"
+            )
+        return index
+
+    def shard(self, index: int) -> DataStore:
+        """The shard's underlying :class:`DataStore`."""
+        return self._shards[index]
+
+    def shard_for(self, key: str) -> DataStore:
+        return self._shards[self.shard_of(key)]
+
+    def shards(self) -> Tuple[DataStore, ...]:
+        return self._shards
+
+    def conflict_domains(self) -> Dict[int, Tuple[str, ...]]:
+        """Mapping shard index -> the keys it currently owns."""
+        return {
+            index: tuple(sorted(shard.keys()))
+            for index, shard in enumerate(self._shards)
+        }
+
+    # ------------------------------------------------------------------
+    # DataStore facade (delegates to the owning shard)
+    # ------------------------------------------------------------------
+    def read(self, key: str) -> Any:
+        return self.shard_for(key).read(key)
+
+    def read_version(self, key: str) -> Version:
+        return self.shard_for(key).read_version(key)
+
+    def version_number(self, key: str) -> int:
+        return self.shard_for(key).version_number(key)
+
+    def write(self, key: str, value: Any, writer: Optional[int] = None) -> Version:
+        return self.shard_for(key).write(key, value, writer=writer)
+
+    def apply_writes(
+        self, writes: Mapping[str, Any], writer: Optional[int] = None
+    ) -> None:
+        for key, value in writes.items():
+            self.write(key, value, writer=writer)
+
+    def keys(self) -> Iterator[str]:
+        for shard in self._shards:
+            yield from shard.keys()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.shard_for(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def snapshot(self) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {}
+        for shard in self._shards:
+            merged.update(shard.snapshot())
+        return merged
+
+    def total_versions_written(self) -> int:
+        return sum(shard.total_versions_written() for shard in self._shards)
+
+    def copy(self) -> "ShardedDataStore":
+        clone = ShardedDataStore(num_shards=self.num_shards, shard_of=self._shard_of)
+        clone._shards = tuple(shard.copy() for shard in self._shards)
+        return clone

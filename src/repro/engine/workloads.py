@@ -152,6 +152,28 @@ def banking_workload(
 # ----------------------------------------------------------------------
 
 
+def _zipf_chooser(
+    keys: Sequence[str], theta: float
+) -> Callable[[random.Random], str]:
+    """A ``rng -> key`` sampler with zipf-distributed rank popularity."""
+    weights = [1.0 / ((rank + 1) ** theta) for rank in range(len(keys))]
+    total = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def choose(rng: random.Random) -> str:
+        u = rng.random()
+        for index, threshold in enumerate(cumulative):
+            if u <= threshold:
+                return keys[index]
+        return keys[-1]
+
+    return choose
+
+
 def _mixed_transaction(
     rng: random.Random,
     config: WorkloadConfig,
@@ -208,25 +230,115 @@ def zipfian_generator(
 ) -> Tuple[Dict[str, int], TransactionGenerator]:
     """Zipf-distributed key popularity with parameter ``zipf_theta``."""
     config = config or WorkloadConfig()
-    keys = config.key_names()
-    weights = [1.0 / ((rank + 1) ** config.zipf_theta) for rank in range(len(keys))]
-    total = sum(weights)
-    cumulative = []
-    acc = 0.0
-    for w in weights:
-        acc += w / total
-        cumulative.append(acc)
-
-    def choose(rng: random.Random) -> str:
-        u = rng.random()
-        for index, threshold in enumerate(cumulative):
-            if u <= threshold:
-                return keys[index]
-        return keys[-1]
-
+    choose = _zipf_chooser(config.key_names(), config.zipf_theta)
     return config.initial_data(), lambda rng: _mixed_transaction(
         rng, config, choose, "zipfian"
     )
+
+
+def zipfian_hotspot_generator(
+    config: Optional[WorkloadConfig] = None,
+) -> Tuple[Dict[str, int], TransactionGenerator]:
+    """A zipfian hotspot: accesses concentrate on a hot set, zipf *within* it.
+
+    With probability ``hotspot_probability`` a key is drawn from the hot
+    set (``hotspot_fraction`` of the keyspace) with zipf-distributed rank
+    popularity — so even inside the hot set a few keys dominate, the
+    worst case for lock queues and validation conflicts; otherwise a cold
+    key is drawn uniformly.  This is the contention profile the kernel
+    benchmark uses: it maximises blocking, which is exactly where
+    event-driven wakeups beat retry polling.
+    """
+    config = config or WorkloadConfig()
+    keys = config.key_names()
+    hot_count = max(1, int(len(keys) * config.hotspot_fraction))
+    hot, cold = keys[:hot_count], keys[hot_count:] or keys[:1]
+    choose_hot = _zipf_chooser(hot, config.zipf_theta)
+
+    def choose(rng: random.Random) -> str:
+        if rng.random() < config.hotspot_probability:
+            return choose_hot(rng)
+        return cold[rng.randrange(len(cold))]
+
+    return config.initial_data(), lambda rng: _mixed_transaction(
+        rng, config, choose, "zipfian-hotspot"
+    )
+
+
+def read_mostly_generator(
+    config: Optional[WorkloadConfig] = None,
+    read_fraction: float = 0.9,
+) -> Tuple[Dict[str, int], TransactionGenerator]:
+    """A read-mostly mix: mostly reads, with updates falling on a zipfian tail.
+
+    Unlike :func:`readonly_heavy_generator` (uniform keys), the rare
+    updates here land zipf-distributed — the common production shape
+    where a read-dominated service still sees write contention on a few
+    hot rows.
+    """
+    config = config or WorkloadConfig()
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction must be in [0, 1]")
+    keys = config.key_names()
+    choose_zipf = _zipf_chooser(keys, config.zipf_theta)
+
+    def generate(rng: random.Random) -> TransactionSpec:
+        operations: List[Operation] = []
+        for _ in range(config.operations_per_transaction):
+            if rng.random() < read_fraction:
+                operations.append(read_op(keys[rng.randrange(len(keys))]))
+            else:
+                key = choose_zipf(rng)
+                operations.append(update_op(key, lambda reads, _k=key: reads[_k] + 1))
+        return TransactionSpec(operations, name="read-mostly")
+
+    return config.initial_data(), generate
+
+
+def partitioned_generator(
+    config: Optional[WorkloadConfig] = None,
+    num_partitions: int = 4,
+) -> Tuple[Dict[str, int], TransactionGenerator]:
+    """Single-partition transactions for sharded execution.
+
+    Keys are named ``p<partition>:k<i>`` and every generated transaction
+    confines itself to one partition, so the batch can be executed with
+    one protocol instance per shard (see
+    :func:`repro.engine.runtime.run_sharded_batch` with a
+    :class:`~repro.engine.storage.ShardedDataStore` whose ``shard_of``
+    reads the partition prefix).
+    """
+    config = config or WorkloadConfig()
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be at least 1")
+    per_partition = max(1, config.num_keys // num_partitions)
+    partition_keys = [
+        [f"p{p}:k{i}" for i in range(per_partition)] for p in range(num_partitions)
+    ]
+    initial = {
+        key: config.initial_value for keys in partition_keys for key in keys
+    }
+
+    def generate(rng: random.Random) -> TransactionSpec:
+        keys = partition_keys[rng.randrange(num_partitions)]
+        operations: List[Operation] = []
+        for _ in range(config.operations_per_transaction):
+            key = keys[rng.randrange(len(keys))]
+            if rng.random() < config.read_fraction:
+                operations.append(read_op(key))
+            else:
+                operations.append(update_op(key, lambda reads, _k=key: reads[_k] + 1))
+        return TransactionSpec(operations, name="partitioned")
+
+    return initial, generate
+
+
+def partition_of(key: str) -> int:
+    """The partition index encoded in a ``p<partition>:k<i>`` key name."""
+    prefix, _, _ = key.partition(":")
+    if not prefix.startswith("p"):
+        raise ValueError(f"key {key!r} has no partition prefix")
+    return int(prefix[1:])
 
 
 def readonly_heavy_generator(
@@ -283,3 +395,29 @@ def readonly_heavy_workload(
 ) -> Tuple[Dict[str, int], List[TransactionSpec]]:
     """A concrete batch of read-heavy transactions."""
     return _materialise(readonly_heavy_generator(config), num_transactions, seed)
+
+
+def zipfian_hotspot_workload(
+    num_transactions: int = 50, config: Optional[WorkloadConfig] = None, seed: int = 0
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """A concrete batch of zipfian-hotspot transactions."""
+    return _materialise(zipfian_hotspot_generator(config), num_transactions, seed)
+
+
+def read_mostly_workload(
+    num_transactions: int = 50, config: Optional[WorkloadConfig] = None, seed: int = 0
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """A concrete batch of read-mostly transactions."""
+    return _materialise(read_mostly_generator(config), num_transactions, seed)
+
+
+def partitioned_workload(
+    num_transactions: int = 50,
+    config: Optional[WorkloadConfig] = None,
+    seed: int = 0,
+    num_partitions: int = 4,
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """A concrete batch of single-partition transactions (for sharded runs)."""
+    return _materialise(
+        partitioned_generator(config, num_partitions), num_transactions, seed
+    )

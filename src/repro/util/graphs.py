@@ -153,36 +153,61 @@ class DiGraph:
         return order
 
     def all_topological_sorts(self, limit: Optional[int] = None) -> List[List[Node]]:
-        """All topological orders (up to ``limit``); empty if the graph is cyclic."""
+        """All topological orders (up to ``limit``); empty if the graph is cyclic.
+
+        The enumeration backtracks with an explicit stack of choice
+        iterators (one per prefix position) rather than recursion, so
+        graphs with thousands of nodes — e.g. large conflict graphs —
+        never hit Python's recursion limit.
+        """
         if self.has_cycle():
             return []
+        total = len(self._succ)
+        if total == 0:
+            return [[]]  # the empty graph has exactly one (empty) order
         in_degree = {node: len(self._pred[node]) for node in self._succ}
         results: List[List[Node]] = []
         order: List[Node] = []
+        placed: Set[Node] = set()
 
-        def backtrack() -> bool:
-            if limit is not None and len(results) >= limit:
-                return True
-            available = sorted(
-                (n for n, d in in_degree.items() if d == 0 and n not in order), key=repr
+        def available() -> Iterator[Node]:
+            return iter(
+                sorted(
+                    (n for n, d in in_degree.items() if d == 0 and n not in placed),
+                    key=repr,
+                )
             )
-            if not available:
-                if len(order) == len(self._succ):
-                    results.append(list(order))
-                    return limit is not None and len(results) >= limit
-                return False
-            for node in available:
-                order.append(node)
-                for target in self._succ[node]:
-                    in_degree[target] -= 1
-                if backtrack():
-                    return True
-                for target in self._succ[node]:
-                    in_degree[target] += 1
-                order.pop()
-            return False
 
-        backtrack()
+        def apply(node: Node) -> None:
+            order.append(node)
+            placed.add(node)
+            for target in self._succ[node]:
+                in_degree[target] -= 1
+
+        def undo() -> None:
+            node = order.pop()
+            placed.discard(node)
+            for target in self._succ[node]:
+                in_degree[target] += 1
+
+        # stack[i] iterates the candidates for prefix position i;
+        # invariant at loop top: len(order) == len(stack) - 1
+        stack: List[Iterator[Node]] = [available()]
+        while stack:
+            if limit is not None and len(results) >= limit:
+                break
+            node = next(stack[-1], None)
+            if node is None:
+                stack.pop()
+                if order:
+                    undo()
+                continue
+            apply(node)
+            if len(order) == total:
+                results.append(list(order))
+                undo()
+            else:
+                stack.append(available())
         return results
 
     def reachable_from(self, node: Node) -> Set[Node]:

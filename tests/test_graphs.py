@@ -88,6 +88,15 @@ class TestDiGraph:
         graph.add_edge(3, 2)
         assert graph.is_connected_undirected()
 
+    def test_all_topological_sorts_of_empty_graph(self):
+        assert DiGraph().all_topological_sorts() == [[]]
+
+    def test_all_topological_sorts_respects_limit(self):
+        graph = DiGraph()
+        for node in range(6):
+            graph.add_node(node)
+        assert len(graph.all_topological_sorts(limit=10)) == 10
+
     def test_copy_is_deep_for_structure(self):
         graph = DiGraph()
         graph.add_edge(1, 2)
@@ -95,6 +104,45 @@ class TestDiGraph:
         clone.add_edge(2, 1)
         assert not graph.has_cycle()
         assert clone.has_cycle()
+
+
+class TestLargeGraphsStayIterative:
+    """Conflict graphs can reach thousands of nodes; none of the graph
+    helpers may recurse once per node, or Python's recursion limit turns
+    a big simulation into a crash.  5k nodes is ~5x the default limit."""
+
+    N = 5_000
+
+    def _chain(self, close_cycle=False):
+        graph = DiGraph()
+        for i in range(self.N - 1):
+            graph.add_edge(i, i + 1)
+        if close_cycle:
+            graph.add_edge(self.N - 1, 0)
+        return graph
+
+    def test_find_cycle_on_5k_node_cycle(self):
+        graph = self._chain(close_cycle=True)
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert len(cycle) == self.N + 1
+
+    def test_topological_sort_on_5k_node_chain(self):
+        graph = self._chain()
+        order = graph.topological_sort()
+        assert order == list(range(self.N))
+
+    def test_all_topological_sorts_on_5k_node_chain(self):
+        # a chain has exactly one order; the old recursive backtracker
+        # recursed 5k deep here and died with RecursionError
+        graph = self._chain()
+        sorts = graph.all_topological_sorts(limit=1)
+        assert sorts == [list(range(self.N))]
+
+    def test_reachability_on_5k_node_chain(self):
+        graph = self._chain()
+        assert len(graph.reachable_from(0)) == self.N - 1
 
 
 class TestWaitForGraph:
