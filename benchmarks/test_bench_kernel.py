@@ -20,6 +20,7 @@ event-driven at least 2x faster overall at 100+ clients — is asserted on
 the total across all four protocols.
 """
 
+import os
 import time
 
 from repro.analysis.reporting import format_table
@@ -38,8 +39,13 @@ PROTOCOLS = {
     "occ": OptimisticConcurrencyControl,
 }
 
-NUM_CLIENTS = 120
-DURATION = 600.0
+#: REPRO_BENCH_QUICK=1 (the CI smoke job) runs a reduced configuration:
+#: the event-vs-polling ordering still holds, but the 2x bar is only
+#: asserted at full scale where the contention to show it exists.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+NUM_CLIENTS = 24 if QUICK else 120
+DURATION = 120.0 if QUICK else 600.0
 
 WORKLOAD = WorkloadConfig(num_keys=64, read_fraction=0.6, hotspot_probability=0.75)
 
@@ -130,4 +136,5 @@ def test_event_driven_vs_polling_at_scale(benchmark):
     # 100+ clients — is asserted on the seed-deterministic event counts;
     # wall-clock tracks them (the printed table shows the measured ~3x) but
     # is not asserted, so loaded CI runners cannot flake this test.
-    assert total_polling_events >= 2.0 * total_event_events
+    if not QUICK:
+        assert total_polling_events >= 2.0 * total_event_events

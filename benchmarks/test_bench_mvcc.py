@@ -1,0 +1,168 @@
+"""E14 — multi-version concurrency control on read-mostly analytics.
+
+The MVCC acceptance benchmark: a 90%-read zipfian-hotspot analytical mix
+(declared-read-only scans over the same hot keys the writers hammer) at
+120 simulated clients.  Single-version locking makes every scan queue
+behind the hot exclusive locks and every writer queue behind the scans'
+shared locks; the multi-version protocols serve scans from snapshots on
+the kernel's read-only fast path, so readers neither block nor abort —
+ever — and committed throughput more than doubles:
+
+* **strict-2pl** — the single-version baseline readers must queue under;
+* **occ** — never blocks but aborts readers at validation, the exact
+  failure mode multi-versioning removes;
+* **mvto** — readers never block/abort, writers validate against read
+  timestamps;
+* **si / serializable-si** — begin-snapshot reads, first-committer-wins
+  writes (+ SSI rw-antidependency checks).
+
+Asserted (on seed-deterministic committed counts, not wall-clock):
+
+* MVTO and SI each commit >= 2x what strict 2PL commits;
+* MVTO and SI report **zero blocks** across the whole run, and every
+  declared-read-only scan rides the fast path (readers' block/abort
+  rate is identically 0);
+* MVTO's committed history passes the MVSG one-copy-serializability
+  check (via the ``committed_serializable`` report field, which MV
+  protocols answer with the MVSG verdict).
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job does) to run a reduced
+configuration that keeps the zero-blocks and fast-path invariants but
+skips the 2x throughput bar, which needs the full client count to be
+meaningful.
+"""
+
+import os
+import time
+
+from repro.analysis.reporting import format_table
+from repro.engine.protocols.mvto import MultiVersionTimestampOrdering
+from repro.engine.protocols.occ import OptimisticConcurrencyControl
+from repro.engine.protocols.snapshot_isolation import SnapshotIsolation
+from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
+from repro.engine.simulator import SimulationConfig, Simulator
+from repro.engine.storage import DataStore
+from repro.engine.workloads import WorkloadConfig, analytical_generator
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+NUM_CLIENTS = 24 if QUICK else 120
+DURATION = 80.0 if QUICK else 300.0
+READ_FRACTION = 0.9
+SCAN_LENGTH = 6
+
+WORKLOAD = WorkloadConfig(
+    num_keys=64,
+    hotspot_fraction=0.1,
+    hotspot_probability=0.8,
+    operations_per_transaction=10,  # writers hold hot locks for a while
+)
+
+PROTOCOLS = {
+    "strict-2pl": StrictTwoPhaseLocking,
+    "occ": OptimisticConcurrencyControl,
+    "mvto": MultiVersionTimestampOrdering,
+    "si": SnapshotIsolation,
+    "serializable-si": lambda store: SnapshotIsolation(store, serializable=True),
+}
+
+MV_PROTOCOLS = ("mvto", "si", "serializable-si")
+
+
+def _run(protocol_factory):
+    initial, generate = analytical_generator(
+        WORKLOAD, read_fraction=READ_FRACTION, scan_length=SCAN_LENGTH
+    )
+    config = SimulationConfig(
+        num_clients=NUM_CLIENTS,
+        duration=DURATION,
+        seed=7,
+        scheduling_time=0.001,
+        execution_time=0.2,
+        think_time=1.0,
+        retry_interval=0.5,
+        abort_backoff=2.0,
+    )
+    simulator = Simulator(protocol_factory(DataStore(initial)), generate, config)
+    started = time.perf_counter()
+    report = simulator.run()
+    return report, time.perf_counter() - started
+
+
+def test_mvcc_beats_single_version_on_read_mostly_hotspot(benchmark):
+    def run_all():
+        return {
+            name: _run(factory) for name, factory in PROTOCOLS.items()
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, (report, wall) in results.items():
+        fastpath = report.metrics.count("kernel.readonly_fastpath")
+        rows.append(
+            (
+                name,
+                report.committed,
+                report.blocks,
+                report.aborts,
+                fastpath,
+                f"{report.throughput:.3f}",
+                f"{report.delay_free_fraction:.1%}",
+                "yes" if report.committed_serializable else "NO",
+                f"{wall:.2f}s",
+            )
+        )
+
+    print()
+    print(
+        f"[E14] analytical mix ({READ_FRACTION:.0%} read-only scans of "
+        f"{SCAN_LENGTH} zipfian-hot keys), {NUM_CLIENTS} clients, "
+        f"duration {DURATION:g}" + (" [quick mode]" if QUICK else "")
+    )
+    print(
+        format_table(
+            [
+                "protocol",
+                "committed",
+                "blocks",
+                "aborts",
+                "ro-fastpath",
+                "tput",
+                "delay-free",
+                "serializable",
+                "wall",
+            ],
+            rows,
+        )
+    )
+
+    two_pl = results["strict-2pl"][0]
+    for name in MV_PROTOCOLS:
+        report = results[name][0]
+        # readers never block or abort: MV protocols issue no BLOCK
+        # decisions at all, and every declared-read-only scan rode the
+        # snapshot fast path (fast-path transactions cannot abort)
+        assert report.blocks == 0
+        assert report.metrics.count("kernel.readonly_fastpath") > 0
+        assert report.metrics.count("kernel.readonly_commits") > 0
+        # the multi-version bookkeeping stayed within the correct class:
+        # MVTO and serializable SI must be 1SR (plain SI may write-skew)
+        if name != "si":
+            assert report.committed_serializable
+
+    # the headline: keeping old versions at least doubles committed
+    # throughput over strict 2PL on this mix (full scale only; the quick
+    # smoke keeps the invariants above without the scale to show 2x)
+    if not QUICK:
+        for name in ("mvto", "si"):
+            report = results[name][0]
+            assert report.committed >= 2.0 * two_pl.committed, (
+                f"{name} committed {report.committed} < 2x strict-2pl's "
+                f"{two_pl.committed}"
+            )
+        # and OCC's reader aborts are the failure mode MV removes: OCC
+        # commits less than either MV protocol here
+        occ = results["occ"][0]
+        assert results["mvto"][0].committed > occ.committed
+        assert results["si"][0].committed > occ.committed

@@ -24,9 +24,19 @@ from repro.analysis.locking_analysis import (
     compare_locking_policies,
     locking_report_table,
 )
+from repro.analysis.mvsg import (
+    MVHistory,
+    explain_mvsg_cycle,
+    multiversion_serialization_graph,
+    one_copy_serializable,
+)
 from repro.analysis.reporting import format_table
 
 __all__ = [
+    "MVHistory",
+    "explain_mvsg_cycle",
+    "multiversion_serialization_graph",
+    "one_copy_serializable",
     "HierarchyRow",
     "ScheduleClassCounts",
     "classify_all_schedules",

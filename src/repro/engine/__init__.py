@@ -22,9 +22,26 @@ wait index that wakes blocked requests from commit/abort notifications
 instead of polling them on a timer.  Storage can be sharded into
 independent conflict domains (:class:`ShardedDataStore`), and every layer
 records into a pluggable :class:`~repro.engine.metrics.Metrics` registry.
+
+Since ISSUE 2 the engine is also *multi-version*: per-key version chains
+(:class:`MultiVersionDataStore`, sharded as
+:class:`ShardedMultiVersionDataStore`) back two additional protocols —
+multi-version timestamp ordering (:class:`MultiVersionTimestampOrdering`)
+and snapshot isolation (:class:`SnapshotIsolation`, with a
+``serializable=True`` SSI knob) — whose readers never block or abort.
+Declared-read-only transactions ride the kernel's snapshot fast path,
+and committed multi-version histories are certified one-copy
+serializable by the MVSG checker in :mod:`repro.analysis.mvsg`.
 """
 
 from repro.engine.storage import DataStore, ShardedDataStore, Version
+from repro.engine.mvstore import (
+    MultiVersionDataStore,
+    ShardedMultiVersionDataStore,
+    VersionRecord,
+    VersionedRead,
+    ensure_multiversion,
+)
 from repro.engine.metrics import Counter, Histogram, Metrics
 from repro.engine.kernel import EngineKernel, Session, StepKind, StepResult
 from repro.engine.operations import (
@@ -46,6 +63,8 @@ from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
 from repro.engine.protocols.timestamp_ordering import TimestampOrdering
 from repro.engine.protocols.sgt import SerializationGraphTesting
 from repro.engine.protocols.occ import OptimisticConcurrencyControl
+from repro.engine.protocols.mvto import MultiVersionTimestampOrdering
+from repro.engine.protocols.snapshot_isolation import SnapshotIsolation
 from repro.engine.runtime import (
     TransactionExecutor,
     ExecutionResult,
@@ -69,9 +88,13 @@ from repro.engine.workloads import (
     zipfian_hotspot_workload,
     read_mostly_workload,
     partitioned_workload,
+    long_scan_workload,
+    analytical_workload,
     zipfian_hotspot_generator,
     read_mostly_generator,
     partitioned_generator,
+    long_scan_generator,
+    analytical_generator,
     partition_of,
 )
 
@@ -79,6 +102,11 @@ __all__ = [
     "DataStore",
     "ShardedDataStore",
     "Version",
+    "MultiVersionDataStore",
+    "ShardedMultiVersionDataStore",
+    "VersionRecord",
+    "VersionedRead",
+    "ensure_multiversion",
     "Counter",
     "Histogram",
     "Metrics",
@@ -101,6 +129,8 @@ __all__ = [
     "TimestampOrdering",
     "SerializationGraphTesting",
     "OptimisticConcurrencyControl",
+    "MultiVersionTimestampOrdering",
+    "SnapshotIsolation",
     "TransactionExecutor",
     "ExecutionResult",
     "ShardedExecutionResult",
@@ -119,8 +149,12 @@ __all__ = [
     "zipfian_hotspot_workload",
     "read_mostly_workload",
     "partitioned_workload",
+    "long_scan_workload",
+    "analytical_workload",
     "zipfian_hotspot_generator",
     "read_mostly_generator",
     "partitioned_generator",
+    "long_scan_generator",
+    "analytical_generator",
     "partition_of",
 ]

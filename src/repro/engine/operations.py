@@ -106,23 +106,44 @@ class TransactionSpec:
     txn_id:
         Optional externally assigned identifier; the executor assigns one
         if absent.
+    read_only:
+        Read-only declaration.  ``True`` asserts the program never writes
+        (validated here) and makes the transaction eligible for the
+        engine kernel's snapshot fast path under multi-version protocols;
+        ``False`` opts out even if no operation writes; ``None`` (the
+        default) auto-detects from the operations.
     """
 
     operations: Tuple[Operation, ...]
     name: str = "txn"
     txn_id: Optional[int] = None
+    read_only: Optional[bool] = None
 
     def __init__(
         self,
         operations: Iterable[Operation],
         name: str = "txn",
         txn_id: Optional[int] = None,
+        read_only: Optional[bool] = None,
     ) -> None:
         object.__setattr__(self, "operations", tuple(operations))
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "txn_id", txn_id)
+        object.__setattr__(self, "read_only", read_only)
         if not self.operations:
             raise ValueError("a transaction spec needs at least one operation")
+        if read_only and any(op.writes for op in self.operations):
+            raise ValueError(
+                f"transaction {name!r} is declared read-only but writes "
+                f"{sorted(set(op.key for op in self.operations if op.writes))}"
+            )
+
+    @property
+    def is_read_only(self) -> bool:
+        """Whether the transaction performs no writes (declared or detected)."""
+        if self.read_only is not None:
+            return self.read_only
+        return all(not op.writes for op in self.operations)
 
     def __len__(self) -> int:
         return len(self.operations)
@@ -144,7 +165,9 @@ class TransactionSpec:
 
     def with_id(self, txn_id: int) -> "TransactionSpec":
         """A copy with an assigned transaction identifier."""
-        return TransactionSpec(self.operations, name=self.name, txn_id=txn_id)
+        return TransactionSpec(
+            self.operations, name=self.name, txn_id=txn_id, read_only=self.read_only
+        )
 
 
 def transfer_transaction(

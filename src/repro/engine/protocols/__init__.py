@@ -16,6 +16,12 @@ aborted.  Implemented protocols:
   basic T/O with read/write timestamps.
 * :class:`~repro.engine.protocols.occ.OptimisticConcurrencyControl` —
   read/validate/write phases with backward validation (Kung & Robinson).
+* :class:`~repro.engine.protocols.mvto.MultiVersionTimestampOrdering` —
+  multi-version T/O: snapshot reads at the start timestamp (readers
+  never block or abort), writers validate against read timestamps.
+* :class:`~repro.engine.protocols.snapshot_isolation.SnapshotIsolation`
+  — begin-snapshot reads + first-committer-wins writes, with a
+  ``serializable=True`` knob adding SSI-style rw-antidependency checks.
 """
 
 from repro.engine.protocols.base import (
@@ -29,6 +35,8 @@ from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
 from repro.engine.protocols.timestamp_ordering import TimestampOrdering
 from repro.engine.protocols.sgt import SerializationGraphTesting
 from repro.engine.protocols.occ import OptimisticConcurrencyControl
+from repro.engine.protocols.mvto import MultiVersionTimestampOrdering
+from repro.engine.protocols.snapshot_isolation import SIFootprint, SnapshotIsolation
 
 __all__ = [
     "ConcurrencyControl",
@@ -40,4 +48,7 @@ __all__ = [
     "TimestampOrdering",
     "SerializationGraphTesting",
     "OptimisticConcurrencyControl",
+    "MultiVersionTimestampOrdering",
+    "SIFootprint",
+    "SnapshotIsolation",
 ]

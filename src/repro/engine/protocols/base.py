@@ -125,6 +125,10 @@ class ConcurrencyControl(abc.ABC):
         self.aborted: Set[int] = set()
         self.active: Set[int] = set()
         self.write_buffers: Dict[int, Dict[str, Any]] = {}
+        #: per-key index of active transactions holding a buffered write,
+        #: maintained on write/commit/abort so :meth:`pending_writers` —
+        #: on the hot path of SGT and T/O — never scans every buffer.
+        self._pending_writer_index: Dict[str, Set[int]] = {}
         #: log-sequence position at which each committed transaction's buffered
         #: writes were installed (writes take effect at commit, not at grant)
         self.commit_positions: Dict[int, int] = {}
@@ -186,7 +190,7 @@ class ConcurrencyControl(abc.ABC):
         self._require_active(txn_id)
         decision = self.on_read(txn_id, key)
         if decision.granted:
-            value = self._buffered_or_committed(txn_id, key)
+            value = self.read_value(txn_id, key)
             decision = Decision.grant(value)
             self._record(txn_id, "read", key)
             self.stats["reads_granted"] += 1
@@ -202,6 +206,7 @@ class ConcurrencyControl(abc.ABC):
         if decision.granted:
             if not decision.skip_effect:
                 self.write_buffers[txn_id][key] = value
+                self._pending_writer_index.setdefault(key, set()).add(txn_id)
                 self._record(txn_id, "write", key)
             self.stats["writes_granted"] += 1
             self.metrics.incr("protocol.writes_granted")
@@ -214,11 +219,12 @@ class ConcurrencyControl(abc.ABC):
         self._require_active(txn_id)
         decision = self.on_commit(txn_id)
         if decision.granted:
-            self.store.apply_writes(self.write_buffers[txn_id], writer=txn_id)
+            self.install_writes(txn_id)
             self.commit_positions[txn_id] = self._sequence
             self._sequence += 1
             self.committed.add(txn_id)
             self.active.discard(txn_id)
+            self._forget_pending_writes(txn_id)
             self.write_buffers.pop(txn_id, None)
             self.stats["commits"] += 1
             self.metrics.incr("protocol.commits")
@@ -234,6 +240,7 @@ class ConcurrencyControl(abc.ABC):
             return
         self.active.discard(txn_id)
         self.aborted.add(txn_id)
+        self._forget_pending_writes(txn_id)
         self.write_buffers.pop(txn_id, None)
         self.on_abort(txn_id)
         self.on_finished(txn_id)
@@ -262,6 +269,53 @@ class ConcurrencyControl(abc.ABC):
 
     def on_finished(self, txn_id: int) -> None:  # pragma: no cover - default no-op
         """Hook called after a transaction leaves the system (commit or abort)."""
+
+    def read_value(self, txn_id: int, key: str) -> Any:
+        """Resolve the value a granted read observes.
+
+        Single-version protocols see the transaction's own buffered write
+        first, then the committed store.  Multi-version protocols
+        override this to serve the version visible at the transaction's
+        snapshot/start timestamp (and to record reads-from bookkeeping).
+        """
+        return self._buffered_or_committed(txn_id, key)
+
+    def install_writes(self, txn_id: int) -> None:
+        """Apply a granted commit's buffered writes to the store.
+
+        Multi-version protocols override this to install version records
+        at the appropriate timestamp instead of overwriting in place.
+        """
+        self.store.apply_writes(self.write_buffers[txn_id], writer=txn_id)
+
+    # ------------------------------------------------------------------
+    # read-only fast path (multi-version protocols opt in)
+    # ------------------------------------------------------------------
+    def readonly_snapshot(self) -> Optional[Any]:
+        """A stable snapshot timestamp for a declared-read-only transaction.
+
+        Returning a timestamp opts the protocol into the engine kernel's
+        read-only fast path: the kernel serves the whole transaction via
+        :meth:`snapshot_read` at that timestamp, bypassing write buffers
+        and validation entirely, and calls :meth:`release_snapshot` at
+        commit.  The timestamp must be *stable*: no later commit may ever
+        install a version visible at or below it.  Protocols without
+        multi-version storage return ``None`` (no fast path).
+        """
+        return None
+
+    def snapshot_read(
+        self, key: str, snapshot_ts: Any, txn_id: Optional[int] = None
+    ) -> Any:
+        """Read ``key`` as of a snapshot handed out by :meth:`readonly_snapshot`.
+
+        ``txn_id`` identifies the fast-path reader (kernel-assigned) so
+        the protocol can log the read for post-hoc MVSG checking.
+        """
+        raise NotImplementedError(f"{self.name} does not support snapshot reads")
+
+    def release_snapshot(self, snapshot_ts: Any) -> None:  # pragma: no cover - no-op
+        """The fast-path transaction holding ``snapshot_ts`` finished."""
 
     # ------------------------------------------------------------------
     # helpers
@@ -296,12 +350,26 @@ class ConcurrencyControl(abc.ABC):
         conflict bookkeeping assumes it observed the pending one; protocols
         that do not lock (SGT, T/O) therefore treat a pending write as a
         barrier on the key.
+
+        Served from the per-key index maintained on write/commit/abort,
+        so the cost is proportional to the writers of *this* key rather
+        than to every write buffer in the system.  The result is sorted
+        for deterministic downstream decisions (wait-for edges, blocker
+        sets).
         """
-        return [
-            txn
-            for txn, buffer in self.write_buffers.items()
-            if key in buffer and txn != exclude and txn in self.active
-        ]
+        owners = self._pending_writer_index.get(key)
+        if not owners:
+            return []
+        return sorted(txn for txn in owners if txn != exclude)
+
+    def _forget_pending_writes(self, txn_id: int) -> None:
+        """Drop a finished transaction's entries from the pending-writer index."""
+        for key in self.write_buffers.get(txn_id, ()):
+            owners = self._pending_writer_index.get(key)
+            if owners is not None:
+                owners.discard(txn_id)
+                if not owners:
+                    self._pending_writer_index.pop(key, None)
 
     # ------------------------------------------------------------------
     # post-hoc analysis
@@ -316,34 +384,54 @@ class ConcurrencyControl(abc.ABC):
         Writes are buffered and only reach the store at commit, so for
         conflict purposes a committed transaction's writes happen at its
         commit position, while its reads happen where they were granted.
-        The graph is built over those effective positions; acyclicity is
-        then equivalent to conflict serializability of what really ran.
+
+        Events are grouped per key and each key's timeline is walked
+        once: every access gets an edge from the *nearest* preceding
+        conflicting accesses (the last writer, and — for a write — the
+        readers seen since that writer).  Edges to farther predecessors
+        are omitted because they are transitively implied through the
+        chain of intervening writers, so the graph has exactly the same
+        reachability (and therefore the same cycles, and the same
+        serializability verdict) as the all-pairs conflict graph, while
+        construction is linear in the number of events per key instead
+        of quadratic in the whole log.
         """
         from repro.util.graphs import DiGraph
 
-        events = []  # (position, txn_id, kind, key)
+        per_key: Dict[str, List[Tuple[int, int, bool]]] = {}
         seen_writes = set()
+        graph = DiGraph()
         for record in self.committed_log():
+            graph.add_node(record.txn_id)
             if record.kind == "read":
-                events.append((record.sequence, record.txn_id, "read", record.key))
+                position = record.sequence
+                is_write = False
             else:
                 marker = (record.txn_id, record.key)
                 if marker in seen_writes:
                     continue
-                position = self.commit_positions.get(record.txn_id, record.sequence)
-                events.append((position, record.txn_id, "write", record.key))
                 seen_writes.add(marker)
-        events.sort(key=lambda e: e[0])
+                position = self.commit_positions.get(record.txn_id, record.sequence)
+                is_write = True
+            per_key.setdefault(record.key, []).append(
+                (position, record.txn_id, is_write)
+            )
 
-        graph = DiGraph()
-        for _, txn_id, _, _ in events:
-            graph.add_node(txn_id)
-        for i, (_, txn_a, kind_a, key_a) in enumerate(events):
-            for _, txn_b, kind_b, key_b in events[i + 1 :]:
-                if txn_a == txn_b or key_a != key_b:
-                    continue
-                if kind_a == "write" or kind_b == "write":
-                    graph.add_edge(txn_a, txn_b)
+        for events in per_key.values():
+            events.sort()
+            last_writer: Optional[int] = None
+            readers_since_write: Set[int] = set()
+            for _, txn_id, is_write in events:
+                if last_writer is not None and last_writer != txn_id:
+                    graph.add_edge(last_writer, txn_id)  # ww or wr
+                if is_write:
+                    for reader in readers_since_write:
+                        if reader != txn_id:
+                            graph.add_edge(reader, txn_id)  # rw
+                    readers_since_write.clear()
+                    last_writer = txn_id
+                else:
+                    readers_since_write.add(txn_id)
         return graph
 
     def committed_history_serializable(self) -> bool:

@@ -1,0 +1,266 @@
+"""Snapshot isolation (SI) and its serializable variant (SSI-style).
+
+Classic begin-snapshot semantics on top of
+:class:`~repro.engine.mvstore.MultiVersionDataStore`:
+
+* at begin, a transaction takes the current commit timestamp as its
+  **snapshot**; every read is served from the newest version committed
+  at or before that snapshot (plus its own buffered writes), so readers
+  never block and never abort;
+* at commit, **first-committer-wins** validation: if any key in the
+  write set already carries a version committed *after* the snapshot, a
+  concurrent writer got there first and the transaction aborts.  An
+  eager check at write time fails doomed transactions early; the
+  commit-time check is the decisive one.
+
+Plain SI famously admits **write skew**: two concurrent transactions
+each read what the other writes, both pass first-committer-wins (their
+write sets are disjoint), and the combined result is not one-copy
+serializable.  ``serializable=True`` adds rw-antidependency tracking in
+the style of serializable SI (Cahill et al.): every committed
+transaction — including read-only ones, whose reads alone can complete a
+dangerous structure (Fekete's read-only anomaly), and including kernel
+fast-path readers via their snapshot leases — leaves behind its
+read/write footprint, and a committing writer that has both an *inbound*
+rw-antidependency (a concurrent committed transaction read something it
+writes) and an *outbound* one (it read something a concurrent committed
+transaction wrote) is the pivot of a dangerous structure and aborts.
+The detection is conservative — it considers committed footprints only,
+so the *last* committer of a dangerous structure is the one caught;
+structures whose pivot commits first can slip through, which is the
+usual price of commit-time-only SSI — and keeps the never-blocking read
+path untouched.
+
+Versions are installed at **commit** timestamps (monotone), so snapshots
+are trivially stable; the shared multi-version machinery (snapshot
+leases, GC cadence, MVSG bookkeeping) lives in
+:class:`~repro.engine.protocols.multiversion.MultiVersionConcurrencyControl`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional, Set
+
+from repro.engine.metrics import Metrics
+from repro.engine.mvstore import VersionedRead
+from repro.engine.protocols.base import Decision
+from repro.engine.protocols.multiversion import MultiVersionConcurrencyControl
+
+#: txn_id recorded on footprints left by kernel fast-path readers, which
+#: never receive a protocol-visible transaction identifier.
+FAST_PATH_READER = -1
+
+
+@dataclass(frozen=True)
+class SIFootprint:
+    """The read/write footprint of a committed transaction (for SSI checks)."""
+
+    txn_id: int
+    read_set: FrozenSet[str]
+    write_set: FrozenSet[str]
+    snapshot_ts: int
+    commit_ts: int
+
+
+class SnapshotIsolation(MultiVersionConcurrencyControl):
+    """Begin-snapshot reads + first-committer-wins writes (+ optional SSI)."""
+
+    name = "snapshot-isolation"
+
+    def __init__(
+        self,
+        store: Any,
+        serializable: bool = False,
+        metrics: Optional[Metrics] = None,
+        gc_interval: int = 128,
+    ) -> None:
+        super().__init__(store, metrics=metrics, gc_interval=gc_interval)
+        self.serializable = serializable
+        if serializable:
+            self.name = "serializable-si"
+        #: commit clock, seeded above any version the store already
+        #: carries so a store reused across batches keeps working
+        self._commit_ts = self.store.max_timestamp()
+        self._snapshots: Dict[int, int] = {}
+        self._read_sets: Dict[int, Set[str]] = {}
+        #: committed footprints still concurrent with some active txn (SSI)
+        self._footprints: list = []
+        #: keys read through each leased fast-path snapshot (SSI only)
+        self._lease_reads: Dict[Any, Set[str]] = {}
+        self.first_committer_aborts = 0
+        self.ssi_aborts = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_begin(self, txn_id: int) -> None:
+        self._snapshots[txn_id] = self._commit_ts
+        self._read_sets[txn_id] = set()
+
+    def snapshot_of(self, txn_id: int) -> int:
+        """The snapshot timestamp an active transaction reads at."""
+        return self._snapshots[txn_id]
+
+    # ------------------------------------------------------------------
+    # reads: always granted, served from the begin snapshot
+    # ------------------------------------------------------------------
+    def on_read(self, txn_id: int, key: str) -> Decision:
+        return Decision.grant()
+
+    def read_value(self, txn_id: int, key: str) -> Any:
+        buffer = self.write_buffers.get(txn_id, {})
+        if key in buffer:
+            return buffer[key]
+        version = self.store.read_as_of(key, self._snapshots[txn_id])
+        self._read_sets[txn_id].add(key)
+        self.mv_reads.append(VersionedRead(txn_id, key, version.writer))
+        return version.value
+
+    # ------------------------------------------------------------------
+    # writes: first-committer-wins
+    # ------------------------------------------------------------------
+    def _first_committer_conflict(self, txn_id: int, key: str) -> Optional[int]:
+        """The writer that already committed a newer version of ``key``."""
+        if key not in self.store:
+            return None
+        latest = self.store.latest(key)
+        if latest.begin_ts > self._snapshots[txn_id]:
+            return latest.writer
+        return None
+
+    def on_write(self, txn_id: int, key: str, value: Any) -> Decision:
+        winner = self._first_committer_conflict(txn_id, key)
+        if winner is not None:
+            self.first_committer_aborts += 1
+            self.metrics.incr("si.first_committer_aborts")
+            return Decision.abort(
+                f"si: first-committer-wins on {key!r} (T{winner} committed "
+                f"after snapshot {self._snapshots[txn_id]})"
+            )
+        return Decision.grant()
+
+    def on_commit(self, txn_id: int) -> Decision:
+        snapshot = self._snapshots[txn_id]
+        for key in self.write_buffers.get(txn_id, ()):
+            winner = self._first_committer_conflict(txn_id, key)
+            if winner is not None:
+                self.first_committer_aborts += 1
+                self.metrics.incr("si.first_committer_aborts")
+                return Decision.abort(
+                    f"si: first-committer-wins on {key!r} at commit "
+                    f"(T{winner} committed after snapshot {snapshot})"
+                )
+        if self.serializable and self.write_buffers.get(txn_id):
+            reads = self._read_sets[txn_id]
+            writes = set(self.write_buffers[txn_id])
+            has_outbound = any(
+                footprint.commit_ts > snapshot and footprint.write_set & reads
+                for footprint in self._footprints
+            )
+            has_inbound = any(
+                footprint.commit_ts > snapshot and footprint.read_set & writes
+                for footprint in self._footprints
+            )
+            if not has_inbound:
+                # in-flight fast-path readers serialize at their leased
+                # snapshot, before this commit: their reads-so-far are
+                # inbound rw-antidependencies too
+                has_inbound = any(
+                    reads & writes for reads in self._lease_reads.values()
+                )
+            if has_outbound and has_inbound:
+                self.ssi_aborts += 1
+                self.metrics.incr("si.ssi_aborts")
+                return Decision.abort(
+                    "ssi: pivot of a dangerous structure (inbound and "
+                    "outbound rw-antidependencies with concurrent commits)"
+                )
+        return Decision.grant()
+
+    def install_writes(self, txn_id: int) -> None:
+        buffer = self.write_buffers[txn_id]
+        if not buffer:
+            # read-only commit: no version, no commit-ts tick — but under
+            # SSI the reads alone can complete a dangerous structure
+            # (Fekete's read-only anomaly), so the footprint still counts
+            self._record_footprint(
+                txn_id, self._read_sets[txn_id], frozenset(), self._snapshots[txn_id]
+            )
+            return
+        self._commit_ts += 1
+        commit_ts = self._commit_ts
+        for key, value in buffer.items():
+            self.store.install(key, value, commit_ts, writer=txn_id)
+            self._record_install(key, commit_ts, txn_id)
+        self._record_footprint(
+            txn_id, self._read_sets[txn_id], frozenset(buffer), self._snapshots[txn_id]
+        )
+
+    # ------------------------------------------------------------------
+    # timestamp policies and the fast-path SSI bridge
+    # ------------------------------------------------------------------
+    def _readonly_timestamp(self) -> int:
+        """The current commit timestamp — stable because commits are monotone."""
+        return self._commit_ts
+
+    def _active_floor(self) -> int:
+        return min(self._snapshots.values(), default=self._commit_ts)
+
+    def snapshot_read(
+        self, key: str, snapshot_ts: Any, txn_id: Optional[int] = None
+    ) -> Any:
+        if self.serializable:
+            # remember what rode this lease: a fast-path reader's reads
+            # can be the inbound edge of a dangerous structure
+            self._lease_reads.setdefault(snapshot_ts, set()).add(key)
+        return super().snapshot_read(key, snapshot_ts, txn_id=txn_id)
+
+    def release_snapshot(self, snapshot_ts: Any) -> None:
+        if self.serializable:
+            reads = self._lease_reads.get(snapshot_ts)
+            if reads:
+                self._record_footprint(
+                    FAST_PATH_READER, reads, frozenset(), snapshot_ts
+                )
+        super().release_snapshot(snapshot_ts)
+        if snapshot_ts not in self._snapshot_leases:
+            self._lease_reads.pop(snapshot_ts, None)
+
+    # ------------------------------------------------------------------
+    # SSI footprint bookkeeping
+    # ------------------------------------------------------------------
+    def _record_footprint(self, txn_id, reads, writes, snapshot_ts) -> None:
+        if not self.serializable:
+            return
+        self._footprints.append(
+            SIFootprint(
+                txn_id=txn_id,
+                read_set=frozenset(reads),
+                write_set=frozenset(writes),
+                snapshot_ts=snapshot_ts,
+                # writers call this right after ticking the clock, so
+                # this is their commit timestamp; read-only commits carry
+                # the current clock, making them concurrent with exactly
+                # the writers whose snapshots predate it
+                commit_ts=self._commit_ts,
+            )
+        )
+        self._trim_footprints()
+
+    def _trim_footprints(self) -> None:
+        """Drop footprints no active transaction is still concurrent with.
+
+        There is deliberately no size cap: truncating still-concurrent
+        footprints would silently disable pivot detection, admitting the
+        very anomalies ``serializable=True`` exists to prevent.  Growth
+        is bounded by the lifetime of the oldest active snapshot — once
+        it finishes, the horizon advances and the list collapses.
+        """
+        horizon = self._active_floor()
+        self._footprints = [f for f in self._footprints if f.commit_ts > horizon]
+
+    def on_finished(self, txn_id: int) -> None:
+        self._snapshots.pop(txn_id, None)
+        self._read_sets.pop(txn_id, None)
+        super().on_finished(txn_id)

@@ -333,6 +333,14 @@ def run_sharded_batch(
             max_concurrent=max_concurrent,
             wait_policy=wait_policy,
         )
+    # report committed values from the protocols' own stores: a factory
+    # may wrap a shard (multi-version protocols over plain shards via
+    # ensure_multiversion), in which case the caller's store never sees
+    # the commits — the overlay keeps untouched shards' keys while
+    # preferring what actually ran
+    merged_snapshot = store.snapshot()
+    for result in per_shard.values():
+        merged_snapshot.update(result.store_snapshot)
     return ShardedExecutionResult(
-        per_shard=per_shard, store_snapshot=store.snapshot()
+        per_shard=per_shard, store_snapshot=merged_snapshot
     )

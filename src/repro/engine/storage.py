@@ -127,12 +127,23 @@ class ShardedDataStore:
     initial:
         Initial contents, distributed across shards by ``shard_of``.
     num_shards:
-        Number of shards (ignored when ``shard_of`` is given together
-        with ``num_shards``... the count still bounds the shard index).
+        Number of shards.  Always honoured: it sizes the shard tuple and
+        bounds every shard index, whether ``shard_of`` is supplied or
+        defaulted.
     shard_of:
         Optional key -> shard index function; defaults to a stable hash
         of the key name (``hash()`` is salted per process, so the default
-        uses a deterministic string fold instead).
+        uses a deterministic string fold instead).  A supplied function
+        must map every key into ``range(num_shards)``; this is validated
+        against every key of ``initial`` at construction time (and again
+        for previously unseen keys on access), so a mismatched
+        ``shard_of``/``num_shards`` pair fails fast instead of on first
+        use.
+    shard_factory:
+        Optional ``initial_mapping -> store`` constructor for the
+        per-shard stores (defaults to :class:`DataStore`); this is how
+        :class:`~repro.engine.mvstore.ShardedMultiVersionDataStore`
+        composes multi-version chains with sharding.
     """
 
     def __init__(
@@ -140,16 +151,23 @@ class ShardedDataStore:
         initial: Optional[Mapping[str, Any]] = None,
         num_shards: int = 4,
         shard_of: Optional[Any] = None,
+        shard_factory: Optional[Any] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
+        if shard_of is not None and not callable(shard_of):
+            raise TypeError("shard_of must be callable (key -> shard index)")
         self.num_shards = num_shards
         self._shard_of = shard_of if shard_of is not None else self._default_shard_of
+        self._shard_factory = shard_factory if shard_factory is not None else DataStore
         grouped: Dict[int, Dict[str, Any]] = {i: {} for i in range(num_shards)}
         for key, value in (initial or {}).items():
+            # shard_of() range-checks the index, so a caller-supplied
+            # function that disagrees with num_shards raises here — at
+            # construction — for every initial key, not on first access.
             grouped[self.shard_of(key)][key] = value
         self._shards: Tuple[DataStore, ...] = tuple(
-            DataStore(grouped[i]) for i in range(num_shards)
+            self._shard_factory(grouped[i]) for i in range(num_shards)
         )
 
     def _default_shard_of(self, key: str) -> int:
@@ -230,6 +248,7 @@ class ShardedDataStore:
         return sum(shard.total_versions_written() for shard in self._shards)
 
     def copy(self) -> "ShardedDataStore":
-        clone = ShardedDataStore(num_shards=self.num_shards, shard_of=self._shard_of)
+        clone = self.__class__.__new__(self.__class__)
+        clone.__dict__.update(self.__dict__)
         clone._shards = tuple(shard.copy() for shard in self._shards)
         return clone

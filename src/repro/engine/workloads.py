@@ -341,6 +341,92 @@ def partition_of(key: str) -> int:
     return int(prefix[1:])
 
 
+def long_scan_generator(
+    config: Optional[WorkloadConfig] = None,
+    scan_fraction: float = 0.5,
+    scan_length: Optional[int] = None,
+) -> Tuple[Dict[str, int], TransactionGenerator]:
+    """Long declared-read-only scans racing short zipfian updates.
+
+    The multi-version showcase: ``scan_fraction`` of the transactions
+    are contiguous read-only scans of ``scan_length`` keys (declared
+    with ``read_only=True``, so multi-version protocols serve them on
+    the kernel's snapshot fast path), and the rest are short
+    read-modify-write transactions on zipf-hot keys.  Under
+    single-version locking, every scan must queue behind the hot
+    writers; under MVTO/SI the scans are invisible to them.
+    """
+    config = config or WorkloadConfig()
+    if not 0.0 <= scan_fraction <= 1.0:
+        raise ValueError("scan_fraction must be in [0, 1]")
+    keys = config.key_names()
+    length = scan_length if scan_length is not None else min(
+        len(keys), 4 * config.operations_per_transaction
+    )
+    if length < 1:
+        raise ValueError("scan_length must be at least 1")
+    choose_zipf = _zipf_chooser(keys, config.zipf_theta)
+
+    def generate(rng: random.Random) -> TransactionSpec:
+        if rng.random() < scan_fraction:
+            start = rng.randrange(len(keys))
+            operations = [
+                read_op(keys[(start + i) % len(keys)]) for i in range(length)
+            ]
+            return TransactionSpec(operations, name="long-scan", read_only=True)
+        operations = []
+        for _ in range(config.operations_per_transaction):
+            key = choose_zipf(rng)
+            operations.append(update_op(key, lambda reads, _k=key: reads[_k] + 1))
+        return TransactionSpec(operations, name="scan-update")
+
+    return config.initial_data(), generate
+
+
+def analytical_generator(
+    config: Optional[WorkloadConfig] = None,
+    read_fraction: float = 0.9,
+    scan_length: int = 8,
+) -> Tuple[Dict[str, int], TransactionGenerator]:
+    """A 90%-read zipfian-hotspot analytical mix.
+
+    ``read_fraction`` of the transactions are declared-read-only
+    analytic scans whose keys are drawn from the same zipfian hotspot
+    the writers hammer — the common production shape where dashboards
+    and reports aggregate exactly the rows the OLTP traffic mutates.
+    The rest are short zipfian-hotspot updates.  This is the benchmark
+    mix for the multi-version protocols: single-version locking makes
+    readers queue behind hot writers, while MVTO/SI keep the reader
+    block/abort rate at zero.
+    """
+    config = config or WorkloadConfig()
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction must be in [0, 1]")
+    if scan_length < 1:
+        raise ValueError("scan_length must be at least 1")
+    keys = config.key_names()
+    hot_count = max(1, int(len(keys) * config.hotspot_fraction))
+    hot, cold = keys[:hot_count], keys[hot_count:] or keys[:1]
+    choose_hot = _zipf_chooser(hot, config.zipf_theta)
+
+    def choose(rng: random.Random) -> str:
+        if rng.random() < config.hotspot_probability:
+            return choose_hot(rng)
+        return cold[rng.randrange(len(cold))]
+
+    def generate(rng: random.Random) -> TransactionSpec:
+        if rng.random() < read_fraction:
+            operations = [read_op(choose(rng)) for _ in range(scan_length)]
+            return TransactionSpec(operations, name="analytic-scan", read_only=True)
+        operations = []
+        for _ in range(config.operations_per_transaction):
+            key = choose(rng)
+            operations.append(update_op(key, lambda reads, _k=key: reads[_k] + 1))
+        return TransactionSpec(operations, name="analytic-update")
+
+    return config.initial_data(), generate
+
+
 def readonly_heavy_generator(
     config: Optional[WorkloadConfig] = None,
 ) -> Tuple[Dict[str, int], TransactionGenerator]:
@@ -409,6 +495,36 @@ def read_mostly_workload(
 ) -> Tuple[Dict[str, int], List[TransactionSpec]]:
     """A concrete batch of read-mostly transactions."""
     return _materialise(read_mostly_generator(config), num_transactions, seed)
+
+
+def long_scan_workload(
+    num_transactions: int = 50,
+    config: Optional[WorkloadConfig] = None,
+    seed: int = 0,
+    scan_fraction: float = 0.5,
+    scan_length: Optional[int] = None,
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """A concrete batch of long-scan transactions."""
+    return _materialise(
+        long_scan_generator(config, scan_fraction, scan_length),
+        num_transactions,
+        seed,
+    )
+
+
+def analytical_workload(
+    num_transactions: int = 50,
+    config: Optional[WorkloadConfig] = None,
+    seed: int = 0,
+    read_fraction: float = 0.9,
+    scan_length: int = 8,
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """A concrete batch of analytical-mix transactions."""
+    return _materialise(
+        analytical_generator(config, read_fraction, scan_length),
+        num_transactions,
+        seed,
+    )
 
 
 def partitioned_workload(

@@ -54,3 +54,50 @@ class TestDataStore:
         snap = store.snapshot()
         snap["a"] = 1000
         assert store.read("a") == 1
+
+
+class TestShardedConstructionValidation:
+    """Satellite: a caller-supplied shard_of must respect num_shards at
+    construction time (checked against every initial key), not on first
+    use."""
+
+    def test_out_of_range_shard_of_fails_at_construction(self):
+        from repro.engine.storage import ShardedDataStore
+
+        with pytest.raises(ValueError, match="out of range"):
+            ShardedDataStore({"a": 1}, num_shards=2, shard_of=lambda key: 7)
+
+    def test_negative_shard_index_fails_at_construction(self):
+        from repro.engine.storage import ShardedDataStore
+
+        with pytest.raises(ValueError, match="out of range"):
+            ShardedDataStore({"a": 1}, num_shards=2, shard_of=lambda key: -1)
+
+    def test_non_callable_shard_of_rejected(self):
+        from repro.engine.storage import ShardedDataStore
+
+        with pytest.raises(TypeError, match="callable"):
+            ShardedDataStore({"a": 1}, num_shards=2, shard_of=3)
+
+    def test_valid_custom_shard_of_accepted_and_bounded_later(self):
+        from repro.engine.storage import ShardedDataStore
+
+        store = ShardedDataStore(
+            {"a0": 1, "a1": 2}, num_shards=2, shard_of=lambda key: int(key[-1])
+        )
+        assert store.read("a0") == 1
+        # previously unseen keys are still range-checked on access
+        with pytest.raises(ValueError, match="out of range"):
+            store.shard_of("a7")
+
+    def test_shard_factory_builds_custom_shards(self):
+        from repro.engine.mvstore import MultiVersionDataStore
+        from repro.engine.storage import ShardedDataStore
+
+        store = ShardedDataStore(
+            {"a": 1, "b": 2},
+            num_shards=2,
+            shard_factory=MultiVersionDataStore,
+        )
+        assert all(isinstance(s, MultiVersionDataStore) for s in store.shards())
+        assert store.snapshot() == {"a": 1, "b": 2}

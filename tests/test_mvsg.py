@@ -1,0 +1,99 @@
+"""Unit tests for the multi-version serialization graph checker."""
+
+from repro.analysis.mvsg import (
+    MVHistory,
+    explain_mvsg_cycle,
+    multiversion_serialization_graph,
+    one_copy_serializable,
+)
+from repro.engine.mvstore import MultiVersionDataStore, VersionedRead
+from repro.engine.protocols.snapshot_isolation import SnapshotIsolation
+
+
+def history(committed, reads, orders):
+    return MVHistory(
+        committed=frozenset(committed),
+        reads=tuple(VersionedRead(*read) for read in reads),
+        version_orders=orders,
+    )
+
+
+class TestMVSGConstruction:
+    def test_reads_from_edge(self):
+        h = history({1, 2}, [(2, "x", 1)], {"x": (1,)})
+        graph = multiversion_serialization_graph(h)
+        assert graph.has_edge(1, 2)
+        assert one_copy_serializable(h)
+
+    def test_reader_of_initial_precedes_later_writer(self):
+        # T2 read the initial version of x, T1 wrote x: T2 must serialize
+        # before T1 (the reader saw the state before the write).
+        h = history({1, 2}, [(2, "x", None)], {"x": (1,)})
+        graph = multiversion_serialization_graph(h)
+        assert graph.has_edge(2, 1)
+        assert not graph.has_edge(1, 2)
+
+    def test_superseded_writer_precedes_read_version(self):
+        # version order x: T1 then T2; T3 read T2's version => T1 -> T2 -> T3
+        h = history({1, 2, 3}, [(3, "x", 2)], {"x": (1, 2)})
+        graph = multiversion_serialization_graph(h)
+        assert graph.has_edge(2, 3)
+        assert graph.has_edge(1, 2)
+
+    def test_write_skew_cycle_detected(self):
+        # the canonical write skew: each transaction read the initial
+        # version of what the other wrote
+        h = history(
+            {1, 2},
+            [(1, "x", None), (1, "y", None), (2, "x", None), (2, "y", None)],
+            {"x": (1,), "y": (2,)},
+        )
+        assert not one_copy_serializable(h)
+        cycle = explain_mvsg_cycle(h)
+        assert cycle is not None
+        assert set(cycle) == {1, 2}
+
+    def test_aborted_transactions_are_ignored(self):
+        # reader 9 never committed; its reads must not create edges
+        h = history({1}, [(9, "x", None)], {"x": (1,)})
+        graph = multiversion_serialization_graph(h)
+        assert len(graph) == 1
+        assert not graph.edges()
+
+    def test_own_version_reads_are_skipped(self):
+        h = history({1}, [(1, "x", 1)], {"x": (1,)})
+        assert one_copy_serializable(h)
+
+    def test_snapshot_reader_behind_committed_writer_is_1sr(self):
+        """The point of multi-versioning: a reader served old versions of
+        everything a later writer touched simply serializes *before* that
+        writer — 1SR — even though in the single-version log its reads
+        straddle the writer's commit (see the disagreement test in
+        tests/test_engine_mvcc.py)."""
+        h = history(
+            {1, 2},
+            [(1, "k", None), (1, "x", None)],
+            {"x": (2,), "k": (2,)},
+        )
+        graph = multiversion_serialization_graph(h)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+        assert one_copy_serializable(h)
+
+
+class TestFromProtocol:
+    def test_capture_from_si_protocol(self):
+        si = SnapshotIsolation(MultiVersionDataStore({"x": 0}))
+        si.begin(1)
+        si.read(1, "x")
+        si.write(1, "x", 1)
+        si.commit(1)
+        si.begin(2)
+        si.read(2, "x")
+        si.commit(2)
+        h = MVHistory.from_protocol(si)
+        assert h.committed == {1, 2}
+        assert h.version_orders == {"x": (1,)}
+        graph = multiversion_serialization_graph(h)
+        assert graph.has_edge(1, 2)  # T2 read T1's version
+        assert one_copy_serializable(h)
