@@ -1,0 +1,23 @@
+"""Shared benchmark-environment knobs.
+
+``QUICK`` is the single parse of the ``REPRO_BENCH_QUICK`` environment
+variable (the CI smoke job sets it to 1): reduced client counts and
+durations that keep every benchmark's invariants while skipping the
+scale-dependent headline bars.  The bench modules import it from here so
+the accepted truthy values cannot drift between copies — the same
+reasoning that hoisted the duplicated protocol dicts into
+``benchmarks/conftest.py``.  (A plain module rather than conftest,
+because importing ``conftest`` by name is ambiguous with the repo-root
+one; pytest puts this directory on ``sys.path`` when it imports the
+benchmark modules, so ``from _bench_env import QUICK`` always resolves
+here.)
+"""
+
+import os
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: simulated client terminals for the at-scale benchmarks (E13/E14/E15);
+#: shared so the cross-protocol comparisons always run at the same scale.
+#: Durations stay per-module — they genuinely differ per experiment.
+NUM_CLIENTS = 24 if QUICK else 120

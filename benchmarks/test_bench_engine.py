@@ -16,23 +16,13 @@ history stays serializable.
 import pytest
 
 from repro.analysis.reporting import format_table
-from repro.engine.protocols.base import SerialProtocol
-from repro.engine.protocols.occ import OptimisticConcurrencyControl
-from repro.engine.protocols.sgt import SerializationGraphTesting
-from repro.engine.protocols.timestamp_ordering import TimestampOrdering
-from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
 from repro.engine.runtime import TransactionExecutor
 from repro.engine.simulator import SimulationConfig, compare_protocols
 from repro.engine.storage import DataStore
 from repro.engine.workloads import banking_generator, banking_workload, hotspot_generator, WorkloadConfig
 
-PROTOCOLS = {
-    "serial": SerialProtocol,
-    "strict-2pl": StrictTwoPhaseLocking,
-    "sgt": SerializationGraphTesting,
-    "timestamp": TimestampOrdering,
-    "occ": OptimisticConcurrencyControl,
-}
+#: drawn from the shared registry in benchmarks/conftest.py
+PROTOCOL_NAMES = ("serial", "strict-2pl", "sgt", "timestamp", "occ")
 
 
 def _report_table(reports):
@@ -70,12 +60,13 @@ def _report_table(reports):
     )
 
 
-def test_banking_simulation_comparison(benchmark):
+def test_banking_simulation_comparison(benchmark, protocol_registry):
+    protocols = {name: protocol_registry[name] for name in PROTOCOL_NAMES}
     initial, generate = banking_generator(num_accounts=24, audit_probability=0.05)
     config = SimulationConfig(num_clients=8, duration=600, seed=11, abort_backoff=4.0)
 
     def run_all():
-        return compare_protocols(PROTOCOLS, initial, generate, config)
+        return compare_protocols(protocols, initial, generate, config)
 
     reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
     assert all(r.committed_serializable for r in reports.values())
@@ -94,14 +85,15 @@ def test_banking_simulation_comparison(benchmark):
     print(_report_table(reports))
 
 
-def test_hotspot_simulation_comparison(benchmark):
+def test_hotspot_simulation_comparison(benchmark, protocol_registry):
+    protocols = {name: protocol_registry[name] for name in PROTOCOL_NAMES}
     initial, generate = hotspot_generator(
         WorkloadConfig(num_keys=48, operations_per_transaction=4, read_fraction=0.6, seed=2)
     )
     config = SimulationConfig(num_clients=10, duration=400, seed=5, abort_backoff=4.0)
 
     def run_all():
-        return compare_protocols(PROTOCOLS, initial, generate, config)
+        return compare_protocols(protocols, initial, generate, config)
 
     reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
     assert all(r.committed_serializable for r in reports.values())
@@ -110,12 +102,13 @@ def test_hotspot_simulation_comparison(benchmark):
     print(_report_table(reports))
 
 
-def test_untimed_executor_contention_profile(benchmark):
+def test_untimed_executor_contention_profile(benchmark, protocol_registry):
+    protocols = {name: protocol_registry[name] for name in PROTOCOL_NAMES}
     initial, specs = banking_workload(num_accounts=16, num_transactions=60, seed=21)
 
     def run_all():
         results = {}
-        for name, factory in PROTOCOLS.items():
+        for name, factory in protocols.items():
             store = DataStore(initial)
             executor = TransactionExecutor(
                 factory(store),

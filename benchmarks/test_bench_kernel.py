@@ -20,31 +20,21 @@ event-driven at least 2x faster overall at 100+ clients — is asserted on
 the total across all four protocols.
 """
 
-import os
 import time
 
 from repro.analysis.reporting import format_table
-from repro.engine.protocols.occ import OptimisticConcurrencyControl
-from repro.engine.protocols.sgt import SerializationGraphTesting
-from repro.engine.protocols.timestamp_ordering import TimestampOrdering
-from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
 from repro.engine.simulator import SimulationConfig, Simulator
 from repro.engine.storage import DataStore
 from repro.engine.workloads import WorkloadConfig, zipfian_hotspot_generator
 
-PROTOCOLS = {
-    "strict-2pl": StrictTwoPhaseLocking,
-    "sgt": SerializationGraphTesting,
-    "timestamp": TimestampOrdering,
-    "occ": OptimisticConcurrencyControl,
-}
+#: drawn from the shared registry in benchmarks/conftest.py
+PROTOCOL_NAMES = ("strict-2pl", "sgt", "timestamp", "occ")
 
 #: REPRO_BENCH_QUICK=1 (the CI smoke job) runs a reduced configuration:
 #: the event-vs-polling ordering still holds, but the 2x bar is only
 #: asserted at full scale where the contention to show it exists.
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+from _bench_env import NUM_CLIENTS, QUICK
 
-NUM_CLIENTS = 24 if QUICK else 120
 DURATION = 120.0 if QUICK else 600.0
 
 WORKLOAD = WorkloadConfig(num_keys=64, read_fraction=0.6, hotspot_probability=0.75)
@@ -70,10 +60,12 @@ def _run(protocol_cls, wait_policy):
     return report, elapsed
 
 
-def test_event_driven_vs_polling_at_scale(benchmark):
+def test_event_driven_vs_polling_at_scale(benchmark, protocol_registry):
+    protocols = {name: protocol_registry[name] for name in PROTOCOL_NAMES}
+
     def run_all():
         results = {}
-        for name, protocol_cls in PROTOCOLS.items():
+        for name, protocol_cls in protocols.items():
             polling_report, polling_time = _run(protocol_cls, "polling")
             event_report, event_time = _run(protocol_cls, "event")
             results[name] = (polling_report, polling_time, event_report, event_time)

@@ -32,21 +32,15 @@ skips the 2x throughput bar, which needs the full client count to be
 meaningful.
 """
 
-import os
 import time
 
 from repro.analysis.reporting import format_table
-from repro.engine.protocols.mvto import MultiVersionTimestampOrdering
-from repro.engine.protocols.occ import OptimisticConcurrencyControl
-from repro.engine.protocols.snapshot_isolation import SnapshotIsolation
-from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
 from repro.engine.simulator import SimulationConfig, Simulator
 from repro.engine.storage import DataStore
 from repro.engine.workloads import WorkloadConfig, analytical_generator
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+from _bench_env import NUM_CLIENTS, QUICK
 
-NUM_CLIENTS = 24 if QUICK else 120
 DURATION = 80.0 if QUICK else 300.0
 READ_FRACTION = 0.9
 SCAN_LENGTH = 6
@@ -58,13 +52,8 @@ WORKLOAD = WorkloadConfig(
     operations_per_transaction=10,  # writers hold hot locks for a while
 )
 
-PROTOCOLS = {
-    "strict-2pl": StrictTwoPhaseLocking,
-    "occ": OptimisticConcurrencyControl,
-    "mvto": MultiVersionTimestampOrdering,
-    "si": SnapshotIsolation,
-    "serializable-si": lambda store: SnapshotIsolation(store, serializable=True),
-}
+#: drawn from the shared registry in benchmarks/conftest.py
+PROTOCOL_NAMES = ("strict-2pl", "occ", "mvto", "si", "serializable-si")
 
 MV_PROTOCOLS = ("mvto", "si", "serializable-si")
 
@@ -89,10 +78,12 @@ def _run(protocol_factory):
     return report, time.perf_counter() - started
 
 
-def test_mvcc_beats_single_version_on_read_mostly_hotspot(benchmark):
+def test_mvcc_beats_single_version_on_read_mostly_hotspot(benchmark, protocol_registry):
+    protocols = {name: protocol_registry[name] for name in PROTOCOL_NAMES}
+
     def run_all():
         return {
-            name: _run(factory) for name, factory in PROTOCOLS.items()
+            name: _run(factory) for name, factory in protocols.items()
         }
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)

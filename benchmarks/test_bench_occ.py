@@ -1,0 +1,181 @@
+"""E15 — OCC validation: serial critical section vs Section 5 parallel pipeline.
+
+The ISSUE-3 tentpole: validation is O(|read set|) via the inverted write
+index in both modes, but *where* it runs differs exactly as in Kung &
+Robinson.  Serial validation occupies the single centralized scheduler
+(the paper's critical section), so at high client counts every committing
+transaction queues behind whoever is validating; the parallel pipeline
+only takes a ticket in the critical section and runs the probes
+overlapped with other clients' read phases.  This benchmark drives the
+same zipfian-hotspot mix through both modes at 120 simulated clients
+with a non-zero ``validation_probe_time`` and shows the critical-section
+bottleneck disappearing.
+
+Asserted (on seed-deterministic committed counts, not wall-clock):
+
+* both modes' committed histories stay conflict-serializable;
+* ``validation_failures`` (protocol attribute) agrees with the
+  ``occ.validation_failures`` metric in both modes;
+* at full scale, parallel validation commits **>= 1.5x** what serial
+  validation commits; in quick mode (``REPRO_BENCH_QUICK=1``, the CI
+  job) the bar is "no regression": parallel >= serial.
+
+The run summary is written to ``BENCH_occ.json`` so the perf trajectory
+is committed alongside the code.  Quick-mode runs only write when
+``REPRO_BENCH_OCC_JSON`` names a path (the CI job does, to upload it as
+an artifact) — otherwise a casual ``REPRO_BENCH_QUICK=1`` run would
+silently overwrite the committed full-scale summary with quick numbers.
+"""
+
+import json
+import os
+import time
+
+from repro.analysis.reporting import format_table
+from repro.engine.simulator import SimulationConfig, Simulator
+from repro.engine.storage import DataStore
+from repro.engine.workloads import WorkloadConfig, zipfian_hotspot_generator
+
+from _bench_env import NUM_CLIENTS, QUICK
+
+DURATION = 80.0 if QUICK else 300.0
+
+WORKLOAD = WorkloadConfig(num_keys=64, read_fraction=0.6, hotspot_probability=0.75)
+
+MODES = ("occ", "occ-parallel")
+
+_ENV_JSON_PATH = os.environ.get("REPRO_BENCH_OCC_JSON", "")
+if _ENV_JSON_PATH:
+    JSON_PATH = _ENV_JSON_PATH
+elif not QUICK:
+    JSON_PATH = os.path.join(os.path.dirname(__file__), "BENCH_occ.json")
+else:
+    JSON_PATH = None  # quick mode without an explicit path: don't write
+
+
+def _run(protocol_factory):
+    initial, generate = zipfian_hotspot_generator(WORKLOAD)
+    config = SimulationConfig(
+        num_clients=NUM_CLIENTS,
+        duration=DURATION,
+        seed=7,
+        scheduling_time=0.01,
+        execution_time=0.2,
+        think_time=1.0,
+        retry_interval=0.5,
+        abort_backoff=2.0,
+        validation_probe_time=0.05,
+    )
+    protocol = protocol_factory(DataStore(initial))
+    simulator = Simulator(protocol, generate, config)
+    started = time.perf_counter()
+    report = simulator.run()
+    return protocol, report, time.perf_counter() - started
+
+
+def test_parallel_validation_beats_serial_at_scale(benchmark, protocol_registry):
+    protocols = {name: protocol_registry[name] for name in MODES}
+
+    def run_all():
+        return {name: _run(factory) for name, factory in protocols.items()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    summary = {
+        "benchmark": "E15-occ-validation",
+        "quick": QUICK,
+        "num_clients": NUM_CLIENTS,
+        "duration": DURATION,
+        "validation_probe_time": 0.05,
+        "modes": {},
+    }
+    for name, (protocol, report, wall) in results.items():
+        rows.append(
+            (
+                name,
+                report.committed,
+                report.aborts,
+                protocol.validation_failures,
+                protocol.conservative_aborts,
+                f"{report.throughput:.3f}",
+                f"{report.mean_breakdown.scheduling:.2f}",
+                f"{report.mean_breakdown.execution:.2f}",
+                "yes" if report.committed_serializable else "NO",
+                f"{wall:.2f}s",
+            )
+        )
+        summary["modes"][name] = {
+            "committed": report.committed,
+            "aborts": report.aborts,
+            "throughput": round(report.throughput, 4),
+            "validation_failures": protocol.validation_failures,
+            "conservative_aborts": protocol.conservative_aborts,
+            "mean_scheduling": round(report.mean_breakdown.scheduling, 3),
+            "mean_execution": round(report.mean_breakdown.execution, 3),
+            "serializable": report.committed_serializable,
+            # wall-clock intentionally omitted: every field here is
+            # seed-deterministic, so re-running the bench leaves the
+            # committed file untouched unless behaviour actually changed
+        }
+
+    print()
+    print(
+        f"[E15] zipfian hotspot, {NUM_CLIENTS} clients, duration {DURATION:g}, "
+        f"validation_probe_time 0.05" + (" [quick mode]" if QUICK else "")
+    )
+    print(
+        format_table(
+            [
+                "mode",
+                "committed",
+                "aborts",
+                "val-fail",
+                "conservative",
+                "tput",
+                "sched",
+                "exec",
+                "serializable",
+                "wall",
+            ],
+            rows,
+        )
+    )
+
+    serial_protocol, serial_report, _ = results["occ"]
+    parallel_protocol, parallel_report, _ = results["occ-parallel"]
+
+    for protocol, report in (
+        (serial_protocol, serial_report),
+        (parallel_protocol, parallel_report),
+    ):
+        assert report.committed_serializable
+        # the protocol counter and the metrics registry tell one story
+        assert protocol.validation_failures == report.metrics.count(
+            "occ.validation_failures"
+        )
+
+    ratio = (
+        parallel_report.committed / serial_report.committed
+        if serial_report.committed
+        else float("inf")
+    )
+    summary["parallel_over_serial"] = round(ratio, 3)
+    if JSON_PATH:
+        with open(JSON_PATH, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(
+        f"parallel/serial committed ratio: {ratio:.2f}x"
+        + (f" -> {JSON_PATH}" if JSON_PATH else "")
+    )
+
+    # CI bar: parallel validation must never regress below serial; the
+    # 1.5x headline needs the full client count to show the critical
+    # section actually saturating.
+    assert parallel_report.committed >= serial_report.committed
+    if not QUICK:
+        assert parallel_report.committed >= 1.5 * serial_report.committed, (
+            f"parallel committed {parallel_report.committed} < 1.5x serial's "
+            f"{serial_report.committed}"
+        )

@@ -42,7 +42,7 @@ from repro.engine.mvstore import (
     VersionedRead,
     ensure_multiversion,
 )
-from repro.engine.metrics import Counter, Histogram, Metrics
+from repro.engine.metrics import NULL_METRICS, Counter, Histogram, Metrics, NullMetrics
 from repro.engine.kernel import EngineKernel, Session, StepKind, StepResult
 from repro.engine.operations import (
     Operation,
@@ -110,6 +110,8 @@ __all__ = [
     "Counter",
     "Histogram",
     "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
     "EngineKernel",
     "Session",
     "StepKind",

@@ -39,7 +39,7 @@ abort/block rates to zero on read-mostly workloads.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.engine.metrics import Metrics
@@ -47,42 +47,85 @@ from repro.engine.operations import Operation, OperationKind, TransactionSpec
 from repro.engine.protocols.base import ConcurrencyControl, Decision
 
 
-@dataclass
 class Session:
     """One submitted transaction as the engine sees it (across restarts).
 
     The executor keeps one session per submitted spec; the simulator
     reuses one session per client terminal, installing a fresh spec via
     :meth:`begin_new` for every generated transaction.
+
+    Hand-rolled with ``__slots__`` rather than a dataclass: sessions are
+    touched on every kernel step, and slot access keeps the per-step
+    attribute traffic off a per-instance ``__dict__``.
     """
 
-    spec: Optional[TransactionSpec]
-    session_id: int
-    txn_id: Optional[int] = None
-    op_index: int = 0
-    reads: Dict[str, Any] = field(default_factory=dict)
-    attempts: int = 0
-    committed: bool = False
-    given_up: bool = False
-    blocks: int = 0
-    operations_issued: int = 0
-    #: rounds to sit out after an abort (linear backoff breaks livelock
-    #: patterns where restarting transactions keep recreating the same
-    #: deadlock against each other) — used by the untimed executor only.
-    cooldown: int = 0
-    #: event-driven state: True while parked in the kernel's wait index.
-    waiting: bool = False
-    #: the blockers this session is currently parked on.
-    waiting_on: Set[int] = field(default_factory=set)
-    #: read-only fast path: the snapshot timestamp this session reads at,
-    #: or None when the session runs through the protocol normally.
-    fast_snapshot: Optional[Any] = None
+    __slots__ = (
+        "spec",
+        "session_id",
+        "txn_id",
+        "op_index",
+        "reads",
+        "attempts",
+        "committed",
+        "given_up",
+        "blocks",
+        "operations_issued",
+        "cooldown",
+        "waiting",
+        "waiting_on",
+        "fast_snapshot",
+        "validating",
+    )
+
+    def __init__(
+        self,
+        spec: Optional[TransactionSpec],
+        session_id: int,
+        txn_id: Optional[int] = None,
+        op_index: int = 0,
+        reads: Optional[Dict[str, Any]] = None,
+        attempts: int = 0,
+        committed: bool = False,
+        given_up: bool = False,
+        blocks: int = 0,
+        operations_issued: int = 0,
+        cooldown: int = 0,
+        waiting: bool = False,
+        waiting_on: Optional[Set[int]] = None,
+        fast_snapshot: Optional[Any] = None,
+        validating: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.session_id = session_id
+        self.txn_id = txn_id
+        self.op_index = op_index
+        self.reads: Dict[str, Any] = {} if reads is None else reads
+        self.attempts = attempts
+        self.committed = committed
+        self.given_up = given_up
+        self.blocks = blocks
+        self.operations_issued = operations_issued
+        #: rounds to sit out after an abort (linear backoff breaks livelock
+        #: patterns where restarting transactions keep recreating the same
+        #: deadlock against each other) — used by the untimed executor only.
+        self.cooldown = cooldown
+        #: event-driven state: True while parked in the kernel's wait index.
+        self.waiting = waiting
+        #: the blockers this session is currently parked on.
+        self.waiting_on: Set[int] = set() if waiting_on is None else waiting_on
+        #: read-only fast path: the snapshot timestamp this session reads at,
+        #: or None when the session runs through the protocol normally.
+        self.fast_snapshot = fast_snapshot
+        #: two-stage commit: True between a granted prepare_commit and the
+        #: finishing commit interaction (the validation pipeline).
+        self.validating = validating
 
     def reset_for_restart(self) -> None:
         self.txn_id = None
         self.op_index = 0
         self.reads = {}
         self.cooldown = self.attempts
+        self.validating = False
 
     def begin_new(self, spec: TransactionSpec) -> None:
         """Install a fresh transaction program (simulator client reuse)."""
@@ -94,6 +137,7 @@ class Session:
         self.committed = False
         self.given_up = False
         self.fast_snapshot = None
+        self.validating = False
 
     @property
     def finished(self) -> bool:
@@ -103,11 +147,13 @@ class Session:
 class StepKind(enum.Enum):
     """What one kernel step did to a session."""
 
-    STARTED = "started"      # transaction began (no data request issued)
-    GRANTED = "granted"      # a data operation was granted
-    BLOCKED = "blocked"      # the request must wait
-    COMMITTED = "committed"  # the commit request was granted
-    ABORTED = "aborted"      # the attempt aborted (caller decides restart)
+    STARTED = "started"        # transaction began (no data request issued)
+    GRANTED = "granted"        # a data operation was granted
+    BLOCKED = "blocked"        # the request must wait
+    VALIDATING = "validating"  # two-stage commit: validation stage passed;
+                               # the next step finishes the commit
+    COMMITTED = "committed"    # the commit request was granted
+    ABORTED = "aborted"        # the attempt aborted (caller decides restart)
 
 
 @dataclass(frozen=True)
@@ -122,10 +168,23 @@ class StepResult:
     #: will be woken by a notification; False means the caller must retry
     #: on its own schedule (no live blockers were named).
     parked: bool = False
+    #: simulated cost of the validation work this interaction performed
+    #: (one probe per read-set key + concurrent-validator checks); 0 for
+    #: protocols that do not validate.
+    validation_probes: int = 0
+    #: True when the probes ran inside a validation pipeline (outside the
+    #: protocol's critical section) and may overlap other clients' work;
+    #: False means they occupied the critical section (serial validation).
+    validation_offloaded: bool = False
 
     @property
     def progressed(self) -> bool:
-        return self.kind in (StepKind.STARTED, StepKind.GRANTED, StepKind.COMMITTED)
+        return self.kind in (
+            StepKind.STARTED,
+            StepKind.GRANTED,
+            StepKind.VALIDATING,
+            StepKind.COMMITTED,
+        )
 
 
 class EngineKernel:
@@ -217,19 +276,63 @@ class EngineKernel:
 
         txn_id = session.txn_id
         if session.op_index >= len(session.spec):
+            if self.protocol.two_stage_commit and not session.validating:
+                prepared = self.protocol.prepare_commit(txn_id)
+                if prepared is not None:
+                    probes = self.protocol.take_validation_probes()
+                    if prepared.granted:
+                        session.validating = True
+                        return StepResult(
+                            StepKind.VALIDATING,
+                            prepared,
+                            was_commit=True,
+                            validation_probes=probes,
+                            validation_offloaded=True,
+                        )
+                    # validation-stage failure: the attempt aborts here
+                    self._abort(session)
+                    return StepResult(
+                        StepKind.ABORTED,
+                        prepared,
+                        was_commit=True,
+                        validation_probes=probes,
+                        validation_offloaded=True,
+                    )
+            offloaded = session.validating
             decision = self.protocol.commit(txn_id)
-            if decision.granted:
-                session.committed = True
-                self._session_by_txn.pop(txn_id, None)
-                return StepResult(StepKind.COMMITTED, decision, was_commit=True)
+            probes = self.protocol.take_validation_probes()
             if decision.blocked:
+                # keep session.validating: the retry must finish the
+                # commit stage, not re-enter prepare and validate twice
                 session.blocks += 1
                 parked = self._park(session, decision)
                 return StepResult(
-                    StepKind.BLOCKED, decision, was_commit=True, parked=parked
+                    StepKind.BLOCKED,
+                    decision,
+                    was_commit=True,
+                    parked=parked,
+                    validation_probes=probes,
+                    validation_offloaded=offloaded,
+                )
+            session.validating = False
+            if decision.granted:
+                session.committed = True
+                self._session_by_txn.pop(txn_id, None)
+                return StepResult(
+                    StepKind.COMMITTED,
+                    decision,
+                    was_commit=True,
+                    validation_probes=probes,
+                    validation_offloaded=offloaded,
                 )
             self._abort(session)
-            return StepResult(StepKind.ABORTED, decision, was_commit=True)
+            return StepResult(
+                StepKind.ABORTED,
+                decision,
+                was_commit=True,
+                validation_probes=probes,
+                validation_offloaded=offloaded,
+            )
 
         operation = session.spec.operations[session.op_index]
         decision = self._issue(txn_id, operation, session)
@@ -268,6 +371,9 @@ class EngineKernel:
         return StepResult(StepKind.GRANTED, Decision.grant(value))
 
     def _issue(self, txn_id: int, operation: Operation, session: Session) -> Decision:
+        # transforms receive the live read buffer (not a defensive copy:
+        # copying it per UPDATE dominated the hot path) and must treat it
+        # as read-only — every shipped workload does.
         if operation.kind is OperationKind.READ:
             decision = self.protocol.read(txn_id, operation.key)
             if decision.granted:
@@ -278,10 +384,10 @@ class EngineKernel:
             if not decision.granted:
                 return decision
             session.reads[operation.key] = decision.value
-            new_value = operation.transform(dict(session.reads))
+            new_value = operation.transform(session.reads)
             return self.protocol.write(txn_id, operation.key, new_value)
         # blind write
-        new_value = operation.transform(dict(session.reads))
+        new_value = operation.transform(session.reads)
         return self.protocol.write(txn_id, operation.key, new_value)
 
     def _abort(self, session: Session) -> None:

@@ -17,12 +17,16 @@ ports that idea into our architecture in a dependency-free form:
 
 Everything is optional: every engine component accepts ``metrics=None``
 and creates a private registry, so existing call sites keep working and
-pay one dict lookup per event when instrumentation is enabled.
+pay one dict lookup per event when instrumentation is enabled.  To make
+disabled instrumentation cost *nothing*, pass a :class:`NullMetrics` —
+every recording call is a no-op that touches no dict at all — which is
+what the benchmark harnesses use for their "protocol cost only" runs.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
@@ -56,7 +60,11 @@ class Histogram:
     )
 
     def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
-        self.bounds: Tuple[float, ...] = tuple(bounds) if bounds else self.DEFAULT_BOUNDS
+        # kept sorted: observe() bisects the edges, and bucket semantics
+        # ("smallest bound >= value") only make sense on ascending bounds
+        self.bounds: Tuple[float, ...] = (
+            tuple(sorted(bounds)) if bounds else self.DEFAULT_BOUNDS
+        )
         self.buckets: List[int] = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
@@ -70,11 +78,9 @@ class Histogram:
         self._sum_squares += value * value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.buckets[index] += 1
-                return
-        self.buckets[-1] += 1
+        # the smallest index with value <= bounds[index]; len(bounds) when
+        # the value exceeds every edge, which is exactly the overflow slot
+        self.buckets[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
@@ -205,3 +211,25 @@ class Metrics:
                 f"p95<={h.quantile(0.95):g} max={h.max if h.max is not None else 0:g}"
             )
         return "\n".join(lines)
+
+
+class NullMetrics(Metrics):
+    """A registry that records nothing: disabled instrumentation at zero cost.
+
+    ``incr``/``observe`` are pure no-ops — no dict lookup, no counter
+    object, nothing allocated — so hot paths instrumented with a shared
+    registry can be run "bare" by passing ``metrics=NullMetrics()``.
+    All reading methods behave like an empty :class:`Metrics`, and
+    merging into a real registry is a no-op, so a ``NullMetrics`` can
+    flow anywhere a registry is expected.
+    """
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+#: a shared no-op registry for callers that just want instrumentation off
+NULL_METRICS = NullMetrics()

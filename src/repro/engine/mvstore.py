@@ -31,7 +31,6 @@ expected: single-version protocols simply always see the newest version.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, replace
 from typing import (
     Any,
     Dict,
@@ -45,7 +44,6 @@ from typing import (
 from repro.engine.storage import DataStore, ShardedDataStore, StorageError, Version
 
 
-@dataclass(frozen=True)
 class VersionRecord:
     """One committed version of a key.
 
@@ -53,30 +51,92 @@ class VersionRecord:
     ``[begin_ts, end_ts)``; ``end_ts is None`` means it is still current.
     ``writer`` is the committing transaction (``None`` for the initial
     load).
+
+    Slotted: one record per committed write under the multi-version
+    protocols, read on every snapshot probe.  Immutable — the store
+    replaces a record (:meth:`closed_at`) instead of mutating it, and
+    records may be shared by concurrent snapshot readers and held in
+    hashed collections.
     """
 
-    value: Any
-    begin_ts: Any
-    end_ts: Optional[Any] = None
-    writer: Optional[int] = None
+    __slots__ = ("value", "begin_ts", "end_ts", "writer")
+
+    def __init__(
+        self,
+        value: Any,
+        begin_ts: Any,
+        end_ts: Optional[Any] = None,
+        writer: Optional[int] = None,
+    ) -> None:
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "begin_ts", begin_ts)
+        object.__setattr__(self, "end_ts", end_ts)
+        object.__setattr__(self, "writer", writer)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("VersionRecord is immutable (use closed_at)")
 
     def visible_at(self, ts: Any) -> bool:
         return self.begin_ts <= ts and (self.end_ts is None or ts < self.end_ts)
 
+    def closed_at(self, end_ts: Any) -> "VersionRecord":
+        """A copy of this record whose visibility interval ends at ``end_ts``."""
+        return VersionRecord(self.value, self.begin_ts, end_ts, self.writer)
 
-@dataclass(frozen=True)
+    def __repr__(self) -> str:
+        return (
+            f"VersionRecord(value={self.value!r}, begin_ts={self.begin_ts!r}, "
+            f"end_ts={self.end_ts!r}, writer={self.writer!r})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, VersionRecord):
+            return NotImplemented
+        return (
+            self.value == other.value
+            and self.begin_ts == other.begin_ts
+            and self.end_ts == other.end_ts
+            and self.writer == other.writer
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.begin_ts, self.end_ts, self.writer))
+
+
 class VersionedRead:
     """One read observation: which transaction read which version of a key.
 
     ``writer`` identifies the version by its committing transaction
     (``None`` = the initial version).  Multi-version protocols log these
     so the MVSG checker (:mod:`repro.analysis.mvsg`) can rebuild the
-    reads-from relation of the actual execution.
+    reads-from relation of the actual execution.  Slotted and immutable:
+    one record per multi-version read.
     """
 
-    txn_id: int
-    key: str
-    writer: Optional[int]
+    __slots__ = ("txn_id", "key", "writer")
+
+    def __init__(self, txn_id: int, key: str, writer: Optional[int]) -> None:
+        object.__setattr__(self, "txn_id", txn_id)
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "writer", writer)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("VersionedRead is immutable")
+
+    def __repr__(self) -> str:
+        return f"VersionedRead({self.txn_id!r}, {self.key!r}, {self.writer!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, VersionedRead):
+            return NotImplemented
+        return (
+            self.txn_id == other.txn_id
+            and self.key == other.key
+            and self.writer == other.writer
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.txn_id, self.key, self.writer))
 
 
 class MultiVersionDataStore:
@@ -197,7 +257,7 @@ class MultiVersionDataStore:
         chain.insert(index, record)
         begins.insert(index, ts)
         if index > 0:
-            chain[index - 1] = replace(chain[index - 1], end_ts=ts)
+            chain[index - 1] = chain[index - 1].closed_at(ts)
         self._installs[key] = self._installs.get(key, 0) + 1
         return record
 

@@ -12,7 +12,11 @@ Three operation kinds are supported:
 
 An ``UPDATE``'s transform receives a mapping of *all values the
 transaction has read so far* (keyed by the key name, latest read wins)
-and returns the new value for the operation's key.
+and returns the new value for the operation's key.  The mapping is the
+engine's **live read buffer**, handed over without a defensive copy
+(copying it per operation dominated the kernel hot path): transforms
+must treat it as read-only and must not retain it after returning —
+mutating it would corrupt the transaction's read set mid-flight.
 """
 
 from __future__ import annotations
@@ -31,6 +35,8 @@ class OperationKind(enum.Enum):
 
 
 #: An UPDATE transform: maps {key: value read so far} to the new value.
+#: The mapping is the live read buffer — treat it as read-only, do not
+#: mutate or retain it (see the module docstring).
 Transform = Callable[[Mapping[str, Any]], Any]
 
 

@@ -59,18 +59,59 @@ class DecisionKind(enum.Enum):
     ABORT = "abort"
 
 
-@dataclass(frozen=True)
 class Decision:
-    """The protocol's answer to one request."""
+    """The protocol's answer to one request.
 
-    kind: DecisionKind
-    value: Any = None
-    blocked_on: Tuple[int, ...] = ()
-    reason: str = ""
-    #: GRANT-only: the operation is accepted but has no effect (e.g. a write
-    #: made obsolete by the Thomas write rule).  The base class then skips
-    #: buffering the write.
-    skip_effect: bool = False
+    Decisions are immutable and sit on the hottest path in the engine —
+    one per protocol interaction — so the class is hand-rolled rather
+    than a dataclass: ``__slots__`` avoids a per-instance ``__dict__``,
+    and the value-less ``GRANT`` (by far the most common answer) is a
+    shared singleton, so granting costs no allocation at all.
+
+    ``skip_effect`` is GRANT-only: the operation is accepted but has no
+    effect (e.g. a write made obsolete by the Thomas write rule); the
+    base class then skips buffering the write.
+    """
+
+    __slots__ = ("kind", "value", "blocked_on", "reason", "skip_effect")
+
+    def __init__(
+        self,
+        kind: DecisionKind,
+        value: Any = None,
+        blocked_on: Tuple[int, ...] = (),
+        reason: str = "",
+        skip_effect: bool = False,
+    ) -> None:
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "blocked_on", blocked_on)
+        object.__setattr__(self, "reason", reason)
+        object.__setattr__(self, "skip_effect", skip_effect)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Decision is immutable")
+
+    def __repr__(self) -> str:
+        return (
+            f"Decision(kind={self.kind!r}, value={self.value!r}, "
+            f"blocked_on={self.blocked_on!r}, reason={self.reason!r}, "
+            f"skip_effect={self.skip_effect!r})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Decision):
+            return NotImplemented
+        return (
+            self.kind is other.kind
+            and self.value == other.value
+            and self.blocked_on == other.blocked_on
+            and self.reason == other.reason
+            and self.skip_effect == other.skip_effect
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.blocked_on, self.reason, self.skip_effect))
 
     @property
     def granted(self) -> bool:
@@ -86,6 +127,8 @@ class Decision:
 
     @staticmethod
     def grant(value: Any = None) -> "Decision":
+        if value is None:
+            return _GRANT  # the shared value-less grant: no allocation
         return Decision(DecisionKind.GRANT, value=value)
 
     @staticmethod
@@ -102,6 +145,10 @@ class Decision:
         return Decision(DecisionKind.GRANT, reason=reason, skip_effect=True)
 
 
+#: the singleton returned by every value-less ``Decision.grant()``
+_GRANT = Decision(DecisionKind.GRANT)
+
+
 @dataclass(frozen=True)
 class LogRecord:
     """One granted data operation, for post-hoc serializability checking."""
@@ -116,6 +163,11 @@ class ConcurrencyControl(abc.ABC):
     """Base class for online concurrency-control protocols."""
 
     name = "abstract"
+    #: True for protocols whose commit runs in two stages (validation
+    #: pipeline): the kernel then calls :meth:`prepare_commit` first and
+    #: :meth:`commit` on the following interaction.  Kept as a cheap class
+    #: flag so single-stage protocols pay nothing on the commit hot path.
+    two_stage_commit = False
 
     def __init__(self, store: DataStore, metrics: Optional[Metrics] = None) -> None:
         self.store = store
@@ -147,6 +199,11 @@ class ConcurrencyControl(abc.ABC):
         #: subscribers told when the protocol wants a transaction re-driven
         #: right away (deadlock victims chosen while blocked).
         self._wake_listeners: List[Callable[[int], None]] = []
+        #: simulated cost (probe count) of the validation work performed by
+        #: the most recent commit-path interaction; the kernel consumes it
+        #: via :meth:`take_validation_probes` so timed front-ends can charge
+        #: validation to the right resource (critical section vs overlap).
+        self._validation_probes = 0
 
     # ------------------------------------------------------------------
     # notifications (the event-driven kernel's wakeup source)
@@ -214,6 +271,25 @@ class ConcurrencyControl(abc.ABC):
             self._count(decision)
         return decision
 
+    def prepare_commit(self, txn_id: int) -> Optional[Decision]:
+        """Enter a two-stage commit's validation stage, if the protocol has one.
+
+        Protocols with a *validation pipeline* (parallel-validation OCC)
+        answer the first commit request in two stages: ``prepare_commit``
+        performs the validation checks and publishes the transaction as
+        *validating*, and a subsequent :meth:`commit` call finishes the
+        write phase.  Returning ``None`` (the default) means the protocol
+        commits in a single stage and the caller should call
+        :meth:`commit` directly.  A GRANT here means "validation passed,
+        call commit to finish"; an ABORT means validation failed and the
+        caller must abort the transaction.
+        """
+        self._require_active(txn_id)
+        decision = self.on_prepare_commit(txn_id)
+        if decision is not None and not decision.granted:
+            self._count(decision)
+        return decision
+
     def commit(self, txn_id: int) -> Decision:
         """Request to commit; on GRANT the write buffer is applied atomically."""
         self._require_active(txn_id)
@@ -260,9 +336,25 @@ class ConcurrencyControl(abc.ABC):
     def on_write(self, txn_id: int, key: str, value: Any) -> Decision:
         """Decide a write request."""
 
+    def on_prepare_commit(self, txn_id: int) -> Optional[Decision]:
+        """Hook for two-stage commits (``None`` = single-stage, the default)."""
+        return None
+
     def on_commit(self, txn_id: int) -> Decision:
         """Decide a commit request (granted by default)."""
         return Decision.grant()
+
+    def take_validation_probes(self) -> int:
+        """Consume the probe count of the most recent validation work.
+
+        Timed callers (the simulator) read this after every commit-path
+        interaction to convert validation work into simulated time —
+        charged to the critical section for serial validation, or to
+        overlappable client time for a validation pipeline.
+        """
+        probes = self._validation_probes
+        self._validation_probes = 0
+        return probes
 
     def on_abort(self, txn_id: int) -> None:  # pragma: no cover - default no-op
         """Hook called when a transaction aborts."""

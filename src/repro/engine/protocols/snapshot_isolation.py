@@ -21,15 +21,24 @@ the style of serializable SI (Cahill et al.): every committed
 transaction — including read-only ones, whose reads alone can complete a
 dangerous structure (Fekete's read-only anomaly), and including kernel
 fast-path readers via their snapshot leases — leaves behind its
-read/write footprint, and a committing writer that has both an *inbound*
-rw-antidependency (a concurrent committed transaction read something it
-writes) and an *outbound* one (it read something a concurrent committed
-transaction wrote) is the pivot of a dangerous structure and aborts.
-The detection is conservative — it considers committed footprints only,
-so the *last* committer of a dangerous structure is the one caught;
-structures whose pivot commits first can slip through, which is the
-usual price of commit-time-only SSI — and keeps the never-blocking read
-path untouched.
+read/write footprint carrying two conflict flags, and a committing
+transaction aborts when any of the following holds:
+
+* it is itself the **pivot**: it has both an inbound rw-antidependency
+  (a concurrent committed transaction read something it writes) and an
+  outbound one (it read something a concurrent committed transaction
+  wrote);
+* its outbound edge points at a committed footprint that already has an
+  outbound edge of its own — a pivot that committed *before* the edge
+  into it existed (the structure the pure pivot check misses);
+* its inbound edge comes from a committed footprint that already has an
+  inbound edge of its own — the mirror case.
+
+Committing also back-annotates the flags of the footprints it touches,
+so pivots are detectable no matter the commit order of the structure's
+three participants.  Detection stays conservative (rw-edges are
+approximated by footprint intersection over concurrent commits) and
+keeps the never-blocking read path untouched.
 
 Versions are installed at **commit** timestamps (monotone), so snapshots
 are trivially stable; the shared multi-version machinery (snapshot
@@ -39,8 +48,7 @@ leases, GC cadence, MVSG bookkeeping) lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Optional, Set
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.engine.metrics import Metrics
 from repro.engine.mvstore import VersionedRead
@@ -52,15 +60,43 @@ from repro.engine.protocols.multiversion import MultiVersionConcurrencyControl
 FAST_PATH_READER = -1
 
 
-@dataclass(frozen=True)
 class SIFootprint:
-    """The read/write footprint of a committed transaction (for SSI checks)."""
+    """The read/write footprint of a committed transaction (for SSI checks).
 
-    txn_id: int
-    read_set: FrozenSet[str]
-    write_set: FrozenSet[str]
-    snapshot_ts: int
-    commit_ts: int
+    ``in_conflict``/``out_conflict`` record whether the transaction has a
+    known inbound/outbound rw-antidependency with a concurrent
+    transaction; they start from the state observed at its own commit and
+    are back-annotated as later concurrent transactions commit, which is
+    what lets pivot detection work regardless of commit order.
+    """
+
+    __slots__ = (
+        "txn_id",
+        "read_set",
+        "write_set",
+        "snapshot_ts",
+        "commit_ts",
+        "in_conflict",
+        "out_conflict",
+    )
+
+    def __init__(
+        self,
+        txn_id: int,
+        read_set: FrozenSet[str],
+        write_set: FrozenSet[str],
+        snapshot_ts: int,
+        commit_ts: int,
+        in_conflict: bool = False,
+        out_conflict: bool = False,
+    ) -> None:
+        self.txn_id = txn_id
+        self.read_set = read_set
+        self.write_set = write_set
+        self.snapshot_ts = snapshot_ts
+        self.commit_ts = commit_ts
+        self.in_conflict = in_conflict
+        self.out_conflict = out_conflict
 
 
 class SnapshotIsolation(MultiVersionConcurrencyControl):
@@ -85,7 +121,10 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
         self._snapshots: Dict[int, int] = {}
         self._read_sets: Dict[int, Set[str]] = {}
         #: committed footprints still concurrent with some active txn (SSI)
-        self._footprints: list = []
+        self._footprints: List[SIFootprint] = []
+        #: conflict flags computed at on_commit, consumed when the
+        #: footprint is recorded in install_writes
+        self._pending_conflicts: Dict[int, Tuple[bool, bool]] = {}
         #: keys read through each leased fast-path snapshot (SSI only)
         self._lease_reads: Dict[Any, Set[str]] = {}
         self.first_committer_aborts = 0
@@ -151,31 +190,53 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
                     f"si: first-committer-wins on {key!r} at commit "
                     f"(T{winner} committed after snapshot {snapshot})"
                 )
-        if self.serializable and self.write_buffers.get(txn_id):
+        if self.serializable:
             reads = self._read_sets[txn_id]
-            writes = set(self.write_buffers[txn_id])
-            has_outbound = any(
-                footprint.commit_ts > snapshot and footprint.write_set & reads
-                for footprint in self._footprints
-            )
-            has_inbound = any(
-                footprint.commit_ts > snapshot and footprint.read_set & writes
-                for footprint in self._footprints
-            )
-            if not has_inbound:
+            writes = set(self.write_buffers.get(txn_id, ()))
+            # rw-antidependency edges against concurrent committed
+            # footprints: out_edges are T ->rw F (T read the version F's
+            # write superseded), in_edges are F ->rw T (F read the
+            # version T is about to supersede)
+            out_edges = []
+            in_edges = []
+            for footprint in self._footprints:
+                if footprint.commit_ts <= snapshot:
+                    continue
+                if footprint.write_set & reads:
+                    out_edges.append(footprint)
+                if writes and footprint.read_set & writes:
+                    in_edges.append(footprint)
+            has_outbound = bool(out_edges)
+            has_inbound = bool(in_edges)
+            if not has_inbound and writes:
                 # in-flight fast-path readers serialize at their leased
                 # snapshot, before this commit: their reads-so-far are
                 # inbound rw-antidependencies too
                 has_inbound = any(
-                    reads & writes for reads in self._lease_reads.values()
+                    lease_reads & writes
+                    for lease_reads in self._lease_reads.values()
                 )
-            if has_outbound and has_inbound:
+            # dangerous structure: this transaction is the pivot, or one
+            # of its edges points at a committed footprint that is (its
+            # flags carry edges discovered after that footprint committed)
+            if (
+                (has_outbound and has_inbound)
+                or any(f.out_conflict for f in out_edges)
+                or any(f.in_conflict for f in in_edges)
+            ):
                 self.ssi_aborts += 1
                 self.metrics.incr("si.ssi_aborts")
                 return Decision.abort(
-                    "ssi: pivot of a dangerous structure (inbound and "
-                    "outbound rw-antidependencies with concurrent commits)"
+                    "ssi: dangerous structure (rw-antidependency pivot "
+                    "among concurrent commits)"
                 )
+            # committing: back-annotate the edges onto the footprints so
+            # a pivot that committed first is still caught later
+            for footprint in out_edges:
+                footprint.in_conflict = True
+            for footprint in in_edges:
+                footprint.out_conflict = True
+            self._pending_conflicts[txn_id] = (has_inbound, has_outbound)
         return Decision.grant()
 
     def install_writes(self, txn_id: int) -> None:
@@ -220,8 +281,23 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
         if self.serializable:
             reads = self._lease_reads.get(snapshot_ts)
             if reads:
+                # the reader's rw-antidependencies into concurrent
+                # committed writers: back-annotate their inbound flags
+                # (the reader itself can never abort, but its edges can
+                # make a later committer the detected pivot)
+                out_conflict = False
+                for footprint in self._footprints:
+                    if footprint.commit_ts > snapshot_ts and (
+                        footprint.write_set & reads
+                    ):
+                        footprint.in_conflict = True
+                        out_conflict = True
                 self._record_footprint(
-                    FAST_PATH_READER, reads, frozenset(), snapshot_ts
+                    FAST_PATH_READER,
+                    reads,
+                    frozenset(),
+                    snapshot_ts,
+                    out_conflict=out_conflict,
                 )
         super().release_snapshot(snapshot_ts)
         if snapshot_ts not in self._snapshot_leases:
@@ -230,9 +306,14 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
     # ------------------------------------------------------------------
     # SSI footprint bookkeeping
     # ------------------------------------------------------------------
-    def _record_footprint(self, txn_id, reads, writes, snapshot_ts) -> None:
+    def _record_footprint(
+        self, txn_id, reads, writes, snapshot_ts, out_conflict: bool = False
+    ) -> None:
         if not self.serializable:
             return
+        pending_in, pending_out = self._pending_conflicts.pop(
+            txn_id, (False, out_conflict)
+        )
         self._footprints.append(
             SIFootprint(
                 txn_id=txn_id,
@@ -244,6 +325,8 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
                 # the current clock, making them concurrent with exactly
                 # the writers whose snapshots predate it
                 commit_ts=self._commit_ts,
+                in_conflict=pending_in,
+                out_conflict=pending_out,
             )
         )
         self._trim_footprints()

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.engine.kernel import EngineKernel, Session, StepKind
@@ -66,6 +66,13 @@ class SimulationConfig:
     #: "event" wakes blocked clients from commit/abort notifications;
     #: "polling" retries them every ``retry_interval`` (compatibility).
     wait_policy: str = "event"
+    #: simulated time per validation probe (OCC commit checks).  Serial
+    #: validation runs *inside* the scheduler critical section, so its
+    #: probes extend the scheduler occupancy and every other client
+    #: queues behind them; a validation pipeline (parallel OCC) runs its
+    #: probes off the critical section, overlapping with other clients.
+    #: 0 (the default) reproduces pre-pipeline reports exactly.
+    validation_probe_time: float = 0.0
 
     def __post_init__(self) -> None:
         if self.wait_policy not in ("event", "polling"):
@@ -129,14 +136,17 @@ class SimulationReport:
         )
 
 
-@dataclass
 class _ClientSession(Session):
     """One terminal: a kernel session plus latency accounting."""
 
-    submit_time: float = 0.0
-    breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
-    ever_delayed: bool = False
-    wait_started: Optional[float] = None
+    __slots__ = ("submit_time", "breakdown", "ever_delayed", "wait_started")
+
+    def __init__(self, spec: Optional[TransactionSpec], session_id: int) -> None:
+        super().__init__(spec=spec, session_id=session_id)
+        self.submit_time = 0.0
+        self.breakdown = LatencyBreakdown()
+        self.ever_delayed = False
+        self.wait_started: Optional[float] = None
 
 
 class Simulator:
@@ -279,6 +289,23 @@ class Simulator:
         if not result.was_commit:
             self.operations += 1
 
+        # validation work costs simulated time: serial validation ran
+        # inside the critical section (the scheduler stays occupied, all
+        # other clients queue behind it), pipelined validation runs off
+        # it and only delays this client.
+        if result.validation_probes and config.validation_probe_time:
+            cost = result.validation_probes * config.validation_probe_time
+            if result.validation_offloaded:
+                client.breakdown.execution += cost
+            else:
+                self._scheduler_free_at = decision_time + cost
+                client.breakdown.scheduling += cost
+            decision_time += cost
+
+        if result.kind is StepKind.VALIDATING:
+            # validation passed off the critical section; the next event
+            # is the short finishing commit interaction
+            return decision_time
         if result.kind is StepKind.COMMITTED:
             return self._finish_commit(client, decision_time)
         if result.kind is StepKind.GRANTED:

@@ -14,7 +14,6 @@ use so that aborts never leave partial updates behind.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 
@@ -22,13 +21,41 @@ class StorageError(KeyError):
     """Raised when a key is accessed that was never initialised."""
 
 
-@dataclass(frozen=True)
 class Version:
-    """A committed version of a key: value, version number and writer id."""
+    """A committed version of a key: value, version number and writer id.
 
-    value: Any
-    version: int
-    writer: Optional[int] = None
+    Slotted (one instance per committed write on the engine hot path)
+    and immutable — ``__hash__`` is defined over the fields, so mutation
+    after construction is rejected like the frozen dataclass it replaced.
+    """
+
+    __slots__ = ("value", "version", "writer")
+
+    def __init__(self, value: Any, version: int, writer: Optional[int] = None) -> None:
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "version", version)
+        object.__setattr__(self, "writer", writer)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Version is immutable")
+
+    def __repr__(self) -> str:
+        return (
+            f"Version(value={self.value!r}, version={self.version!r}, "
+            f"writer={self.writer!r})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return (
+            self.value == other.value
+            and self.version == other.version
+            and self.writer == other.writer
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.version, self.writer))
 
 
 class DataStore:

@@ -313,6 +313,21 @@ class TestMetrics:
         assert h.min == 1 and h.max == 5
         assert h.quantile(1.0) >= 5
 
+    def test_histogram_bucket_assignment_at_the_edges(self):
+        """Satellite: observe() bisects the bound edges; values exactly on
+        an edge land in that edge's bucket (bounds are inclusive upper
+        edges), values just above land in the next, values above every
+        edge land in the overflow bucket."""
+        h = Histogram(bounds=(1, 10, 100))
+        h.observe(1)      # == first edge -> bucket 0
+        h.observe(1.001)  # just above -> bucket 1
+        h.observe(10)     # == second edge -> bucket 1
+        h.observe(100)    # == last edge -> bucket 2
+        h.observe(100.5)  # above every edge -> overflow
+        h.observe(0)      # below the first edge -> bucket 0
+        assert h.buckets == [2, 2, 1, 1]
+        assert sum(h.buckets) == h.count == 6
+
     def test_metrics_merge_folds_counters_and_histograms(self):
         a, b = Metrics(), Metrics()
         a.incr("x", 2)

@@ -185,6 +185,35 @@ class TestSnapshotIsolationSemantics:
         assert protocol.committed_history_serializable()
         assert protocol.ssi_aborts == 1
 
+    def test_dangerous_structure_whose_pivot_commits_first_is_caught(self):
+        """ISSUE-3 regression (found by hypothesis): the pivot of a
+        dangerous structure can commit *before* the edge into it exists.
+        Commit-time pivot checking alone misses it; the back-annotated
+        in/out-conflict flags on committed footprints catch it.
+
+        Cycle if T3 were admitted: T3 -rw-> T1 (k1), T1 -rw-> T2 (k0),
+        T2 -wr-> T3 (k0) — not one-copy serializable.
+        """
+        protocol = SnapshotIsolation(
+            _mv_store({"k0": 0, "k1": 0, "k2": 0}), serializable=True
+        )
+        protocol.begin(1)            # the pivot: reads k0, writes k1
+        protocol.read(1, "k0")
+        protocol.begin(2)            # concurrent writer of k0
+        protocol.write(2, "k0", 9)
+        assert protocol.commit(2).granted
+        protocol.begin(3)            # reads T2's k0 and pre-pivot k1
+        protocol.read(3, "k0")
+        protocol.read(3, "k1")
+        protocol.write(1, "k1", 9)
+        assert protocol.commit(1).granted  # pivot commits: only outbound so far
+        protocol.write(3, "k2", 9)
+        decision = protocol.commit(3)
+        assert decision.aborted
+        assert "dangerous structure" in decision.reason
+        assert protocol.ssi_aborts == 1
+        assert protocol.committed_history_serializable()
+
     def test_readonly_commit_does_not_tick_commit_clock(self):
         protocol = SnapshotIsolation(_mv_store({"x": 0}))
         protocol.begin(1)
