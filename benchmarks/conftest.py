@@ -5,11 +5,12 @@ DESIGN.md (figures 1-5, the Section 2 example, the Section 6 analysis) and
 prints the corresponding table so that ``pytest benchmarks/ --benchmark-only``
 doubles as the experiment driver for EXPERIMENTS.md.
 
-This conftest also hosts the **shared protocol registry**: every
-benchmark used to carry its own ``PROTOCOLS`` dict of name -> factory,
-which drifted (three near-copies before ISSUE 3).  They now select the
-factories they need from one registry via the ``protocol_registry``
-fixture.
+The **shared protocol registry** used to live here (it replaced three
+drifting per-benchmark dicts in ISSUE 3); since ISSUE 4 it is library
+code — :mod:`repro.engine.protocols.registry` — because the conformance
+harness selects its differential matrix from the same map.  This
+conftest re-exports it so benchmark modules keep importing
+``PROTOCOL_FACTORIES`` / the ``protocol_registry`` fixture unchanged.
 """
 
 import os
@@ -21,35 +22,7 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.engine.protocols.base import SerialProtocol  # noqa: E402
-from repro.engine.protocols.mvto import MultiVersionTimestampOrdering  # noqa: E402
-from repro.engine.protocols.occ import OptimisticConcurrencyControl  # noqa: E402
-from repro.engine.protocols.sgt import SerializationGraphTesting  # noqa: E402
-from repro.engine.protocols.snapshot_isolation import SnapshotIsolation  # noqa: E402
-from repro.engine.protocols.timestamp_ordering import TimestampOrdering  # noqa: E402
-from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking  # noqa: E402
-
-
-def _occ_parallel(store):
-    return OptimisticConcurrencyControl(store, validation="parallel")
-
-
-def _serializable_si(store):
-    return SnapshotIsolation(store, serializable=True)
-
-
-#: every protocol factory the benchmarks draw from, by report name
-PROTOCOL_FACTORIES = {
-    "serial": SerialProtocol,
-    "strict-2pl": StrictTwoPhaseLocking,
-    "sgt": SerializationGraphTesting,
-    "timestamp": TimestampOrdering,
-    "occ": OptimisticConcurrencyControl,
-    "occ-parallel": _occ_parallel,
-    "mvto": MultiVersionTimestampOrdering,
-    "si": SnapshotIsolation,
-    "serializable-si": _serializable_si,
-}
+from repro.engine.protocols.registry import PROTOCOL_FACTORIES  # noqa: E402,F401
 
 
 @pytest.fixture(scope="session")

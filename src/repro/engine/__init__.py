@@ -43,6 +43,7 @@ from repro.engine.mvstore import (
     ensure_multiversion,
 )
 from repro.engine.metrics import NULL_METRICS, Counter, Histogram, Metrics, NullMetrics
+from repro.engine.faults import FaultEvent, FaultPlan, FaultSpec
 from repro.engine.kernel import EngineKernel, Session, StepKind, StepResult
 from repro.engine.operations import (
     Operation,
@@ -65,6 +66,13 @@ from repro.engine.protocols.sgt import SerializationGraphTesting
 from repro.engine.protocols.occ import OptimisticConcurrencyControl
 from repro.engine.protocols.mvto import MultiVersionTimestampOrdering
 from repro.engine.protocols.snapshot_isolation import SnapshotIsolation
+from repro.engine.protocols.registry import (
+    PROTOCOL_ENTRIES,
+    PROTOCOL_FACTORIES,
+    ProtocolEntry,
+    get_entry,
+    protocol_names,
+)
 from repro.engine.runtime import (
     TransactionExecutor,
     ExecutionResult,
@@ -112,6 +120,14 @@ __all__ = [
     "Metrics",
     "NullMetrics",
     "NULL_METRICS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "PROTOCOL_ENTRIES",
+    "PROTOCOL_FACTORIES",
+    "ProtocolEntry",
+    "get_entry",
+    "protocol_names",
     "EngineKernel",
     "Session",
     "StepKind",

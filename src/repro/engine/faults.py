@@ -1,0 +1,160 @@
+"""Deterministic fault injection for the engine kernel.
+
+The conformance harness (:mod:`repro.harness`) hunts for interleaving
+windows in which a protocol's bookkeeping and the actual history drift
+apart.  Many of those windows only open when something goes *wrong* at
+an awkward moment — a client dies just before commit, a commit or
+validation is delayed long enough for a rival to slip past, a busy shard
+stalls while the rest of the system races ahead.  This module provides
+the engine-level hook that manufactures those moments **reproducibly**:
+
+* :class:`FaultSpec` — the declarative description of an injection
+  campaign (probabilities, shard bias, caps, seed);
+* :class:`FaultPlan` — the stateful interpreter the
+  :class:`~repro.engine.kernel.EngineKernel` consults once per protocol
+  interaction.  All randomness comes from one private ``random.Random``
+  seeded by the spec, and the kernel consults the plan at deterministic
+  points, so the same (engine seed, fault seed) pair replays the same
+  injections byte-for-byte — a failing fuzzer seed is a complete
+  reproduction recipe.
+
+Only *safe* faults are injected: forcing an attempt to abort and
+delaying a request are both actions a correct protocol must tolerate at
+any time, so every correctness oracle must still pass under an arbitrary
+fault plan.  (Faults that could genuinely corrupt state — torn writes,
+lost notifications — would be bugs in the engine, not scenarios.)
+
+The kernel skips injection on the read-only fast path (fast-path
+sessions can neither block nor abort by contract) and while a session is
+mid-validation in a two-stage commit (the pipeline owns the attempt).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+#: interaction stages a fault can intercept
+OPERATION_STAGE = "operation"
+COMMIT_STAGE = "commit"
+
+#: actions a plan may request
+ABORT_ACTION = "abort"
+STALL_ACTION = "stall"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative description of a deterministic injection campaign.
+
+    Parameters
+    ----------
+    abort_probability:
+        Chance that an interaction is answered with a forced client
+        abort (the transaction attempt aborts and restarts as usual).
+    stall_probability:
+        Chance that a *data operation* is stalled: the request is
+        answered BLOCK without being parked, so the caller retries on
+        its own schedule (next round for the executor, one
+        ``retry_interval`` later for the simulator).
+    commit_stall_probability:
+        Same, for *commit* interactions — this is what delays commits
+        and validations into their rivals' windows.
+    biased_keys:
+        Keys whose operations stall ``bias_multiplier`` times more often
+        — the "one hot shard is slow" shape.
+    bias_multiplier:
+        Stall-probability multiplier for ``biased_keys``.
+    max_injections:
+        Overall cap on injected faults (``None`` = unlimited).  Keeps a
+        hostile plan from starving a run outright.
+    seed:
+        Seed of the plan's private RNG.
+    """
+
+    abort_probability: float = 0.0
+    stall_probability: float = 0.0
+    commit_stall_probability: float = 0.0
+    biased_keys: FrozenSet[str] = frozenset()
+    bias_multiplier: float = 4.0
+    max_injections: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("abort_probability", "stall_probability", "commit_stall_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.bias_multiplier < 0:
+            raise ValueError("bias_multiplier must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for the counterexample report."""
+
+    index: int
+    txn_id: int
+    stage: str
+    key: Optional[str]
+    action: str
+
+    def __str__(self) -> str:
+        where = f" on {self.key!r}" if self.key is not None else ""
+        return f"#{self.index}: {self.action} T{self.txn_id} at {self.stage}{where}"
+
+
+class FaultPlan:
+    """The stateful injector the kernel consults once per interaction.
+
+    One plan instance belongs to one run: it owns a private RNG and an
+    append-only event log.  Constructing a fresh plan from the same
+    :class:`FaultSpec` replays the identical injection sequence as long
+    as the engine drives it through the same interaction sequence —
+    which the deterministic executor/simulator guarantee for a fixed
+    engine seed.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self._consults = 0
+        self.events: List[FaultEvent] = []
+
+    @property
+    def injections(self) -> int:
+        return len(self.events)
+
+    def intercept(self, txn_id: int, stage: str, key: Optional[str]) -> Optional[str]:
+        """Decide the fate of one interaction; ``None`` = no fault.
+
+        Exactly one RNG draw per consultation keeps the decision stream
+        a pure function of the spec seed and the consultation order.
+        """
+        self._consults += 1
+        roll = self._rng.random()
+        spec = self.spec
+        if spec.max_injections is not None and len(self.events) >= spec.max_injections:
+            return None
+        if stage == COMMIT_STAGE:
+            stall_probability = spec.commit_stall_probability
+        else:
+            stall_probability = spec.stall_probability
+            if key is not None and key in spec.biased_keys:
+                stall_probability = min(1.0, stall_probability * spec.bias_multiplier)
+        action: Optional[str] = None
+        if roll < spec.abort_probability:
+            action = ABORT_ACTION
+        elif roll < spec.abort_probability + stall_probability:
+            action = STALL_ACTION
+        if action is not None:
+            self.events.append(
+                FaultEvent(self._consults, txn_id, stage, key, action)
+            )
+        return action
+
+
+def plan_from(spec: Optional[FaultSpec]) -> Optional[FaultPlan]:
+    """A fresh plan for ``spec``, or ``None`` for fault-free runs."""
+    return None if spec is None else FaultPlan(spec)

@@ -42,9 +42,15 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
+from repro.engine.faults import (
+    ABORT_ACTION,
+    COMMIT_STAGE,
+    OPERATION_STAGE,
+    FaultPlan,
+)
 from repro.engine.metrics import Metrics
 from repro.engine.operations import Operation, OperationKind, TransactionSpec
-from repro.engine.protocols.base import ConcurrencyControl, Decision
+from repro.engine.protocols.base import ConcurrencyControl, Decision, SnapshotAborted
 
 
 class Session:
@@ -126,6 +132,9 @@ class Session:
         self.reads = {}
         self.cooldown = self.attempts
         self.validating = False
+        # a restarted fast-path reader must take a *fresh* snapshot:
+        # its old one is exactly what it aborted to escape
+        self.fast_snapshot = None
 
     def begin_new(self, spec: TransactionSpec) -> None:
         """Install a fresh transaction program (simulator client reuse)."""
@@ -176,6 +185,11 @@ class StepResult:
     #: protocol's critical section) and may overlap other clients' work;
     #: False means they occupied the critical section (serial validation).
     validation_offloaded: bool = False
+    #: the injected fault behind this result ("abort" or "stall"), or
+    #: None for a genuine protocol decision.  Callers use it to tell an
+    #: injected stall (which is itself an event and counts as progress)
+    #: from a real BLOCK.
+    fault: Optional[str] = None
 
     @property
     def progressed(self) -> bool:
@@ -197,12 +211,19 @@ class EngineKernel:
     metrics:
         Shared instrumentation registry; defaults to the protocol's own
         registry so kernel and protocol metrics land in one report.
+    fault_plan:
+        Optional deterministic fault injector (see
+        :mod:`repro.engine.faults`): consulted once per non-fast-path
+        interaction, it may force the attempt to abort or stall the
+        request.  ``None`` (the default) costs one attribute check per
+        step.
     """
 
     def __init__(
         self,
         protocol: ConcurrencyControl,
         metrics: Optional[Metrics] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.protocol = protocol
         if metrics is None:
@@ -221,6 +242,12 @@ class EngineKernel:
         #: front-end (the simulator schedules an event, the executor
         #: relies on the cleared ``waiting`` flag).
         self.wake_sink: Optional[Callable[[Session], None]] = None
+        #: called with the session right after each successful commit
+        #: (normal and read-only fast path alike), while the committed
+        #: attempt's spec and read buffer are still attached — the
+        #: conformance harness's history-recorder hook.
+        self.commit_sink: Optional[Callable[[Session], None]] = None
+        self.fault_plan = fault_plan
         protocol.add_finish_listener(self._on_txn_finished)
         protocol.add_wake_listener(self._on_wake_request)
 
@@ -274,6 +301,11 @@ class EngineKernel:
         if session.fast_snapshot is not None:
             return self._step_readonly(session)
 
+        if self.fault_plan is not None and not session.validating:
+            injected = self._maybe_inject_fault(session)
+            if injected is not None:
+                return injected
+
         txn_id = session.txn_id
         if session.op_index >= len(session.spec):
             if self.protocol.two_stage_commit and not session.validating:
@@ -318,6 +350,8 @@ class EngineKernel:
             if decision.granted:
                 session.committed = True
                 self._session_by_txn.pop(txn_id, None)
+                if self.commit_sink is not None:
+                    self.commit_sink(session)
                 return StepResult(
                     StepKind.COMMITTED,
                     decision,
@@ -352,19 +386,33 @@ class EngineKernel:
 
         Every operation is a read served directly from the snapshot
         (read-only specs cannot contain writes), so the session can
-        neither block nor abort; the trivial commit only releases the
-        snapshot lease so the protocol's garbage collector may advance.
+        never block; the trivial commit only releases the snapshot lease
+        so the protocol's garbage collector may advance.  The one way a
+        fast-path attempt can die is :class:`SnapshotAborted` — the
+        protocol refusing a read that would observe a non-serializable
+        state (serializable SI's committed-pivot anomaly) — in which
+        case the lease is released, the attempt's reads are scrubbed
+        from the protocol's history bookkeeping, and the caller restarts
+        the session on a fresh snapshot.
         """
         spec = session.spec
         if session.op_index >= len(spec):
             self.protocol.release_snapshot(session.fast_snapshot)
             session.committed = True
             self.metrics.incr("kernel.readonly_commits")
+            if self.commit_sink is not None:
+                self.commit_sink(session)
             return StepResult(StepKind.COMMITTED, Decision.grant(), was_commit=True)
         operation = spec.operations[session.op_index]
-        value = self.protocol.snapshot_read(
-            operation.key, session.fast_snapshot, txn_id=session.txn_id
-        )
+        try:
+            value = self.protocol.snapshot_read(
+                operation.key, session.fast_snapshot, txn_id=session.txn_id
+            )
+        except SnapshotAborted as reason:
+            self.protocol.abort_fast_reader(session.txn_id, session.fast_snapshot)
+            session.fast_snapshot = None
+            self.metrics.incr("kernel.readonly_aborts")
+            return StepResult(StepKind.ABORTED, Decision.abort(str(reason)))
         session.reads[operation.key] = value
         session.op_index += 1
         session.operations_issued += 1
@@ -389,6 +437,44 @@ class EngineKernel:
         # blind write
         new_value = operation.transform(session.reads)
         return self.protocol.write(txn_id, operation.key, new_value)
+
+    def _maybe_inject_fault(self, session: Session) -> Optional[StepResult]:
+        """Consult the fault plan before a normal-path interaction.
+
+        Returns the injected outcome, or ``None`` to proceed with the
+        genuine protocol request.  Injection is skipped for fast-path
+        and mid-validation sessions (callers guarantee that); both
+        injected outcomes — a forced abort and an unparked stall — are
+        states the protocol must tolerate from any client at any time,
+        so correctness oracles hold under every plan.
+        """
+        spec = session.spec
+        if session.op_index >= len(spec):
+            stage, key = COMMIT_STAGE, None
+        else:
+            stage, key = OPERATION_STAGE, spec.operations[session.op_index].key
+        action = self.fault_plan.intercept(session.txn_id, stage, key)
+        if action is None:
+            return None
+        was_commit = stage == COMMIT_STAGE
+        if action == ABORT_ACTION:
+            self.metrics.incr("kernel.fault_aborts")
+            self._abort(session)
+            return StepResult(
+                StepKind.ABORTED,
+                Decision.abort("fault: injected client abort"),
+                was_commit=was_commit,
+                fault=action,
+            )
+        self.metrics.incr("kernel.fault_stalls")
+        session.blocks += 1
+        return StepResult(
+            StepKind.BLOCKED,
+            Decision.block(reason="fault: injected stall"),
+            was_commit=was_commit,
+            parked=False,
+            fault=action,
+        )
 
     def _abort(self, session: Session) -> None:
         txn_id = session.txn_id

@@ -51,6 +51,19 @@ class TransactionAborted(RuntimeError):
         self.reason = reason
 
 
+class SnapshotAborted(RuntimeError):
+    """Raised by :meth:`ConcurrencyControl.snapshot_read` to abort a fast-path reader.
+
+    Declared-read-only transactions on the kernel's snapshot fast path
+    normally never abort, but serializable SI must be able to kill a
+    reader whose next read would observe a non-serializable state (the
+    read-only anomaly with an already-committed pivot — see
+    ``SnapshotIsolation.snapshot_read``).  The kernel catches this,
+    releases the reader's lease, and reports the attempt as ABORTED so
+    the caller restarts it on a fresh snapshot.
+    """
+
+
 class DecisionKind(enum.Enum):
     """The three possible answers to an online request."""
 
@@ -408,6 +421,16 @@ class ConcurrencyControl(abc.ABC):
 
     def release_snapshot(self, snapshot_ts: Any) -> None:  # pragma: no cover - no-op
         """The fast-path transaction holding ``snapshot_ts`` finished."""
+
+    def abort_fast_reader(self, txn_id: Optional[int], snapshot_ts: Any) -> None:
+        """A fast-path reader aborted mid-scan (see :class:`SnapshotAborted`).
+
+        The default just releases the lease; multi-version protocols
+        additionally scrub the aborted attempt's reads from their MVSG
+        bookkeeping — aborted work never happened, so it must not enter
+        the certified history.
+        """
+        self.release_snapshot(snapshot_ts)
 
     # ------------------------------------------------------------------
     # helpers

@@ -107,11 +107,36 @@ class MultiVersionConcurrencyControl(ConcurrencyControl):
         return version.value
 
     def release_snapshot(self, snapshot_ts: Any) -> None:
+        self._release_lease(snapshot_ts)
+
+    def _release_lease(self, snapshot_ts: Any) -> None:
+        """Drop one lease on ``snapshot_ts`` (the raw count decrement).
+
+        Split from :meth:`release_snapshot` so the abort path can return
+        a lease *without* the commit-path side effects subclasses hang on
+        release (serializable SI records the lease's reads as a committed
+        reader footprint there — exactly what an aborted attempt must not
+        leave behind).
+        """
         count = self._snapshot_leases.get(snapshot_ts, 0) - 1
         if count > 0:
             self._snapshot_leases[snapshot_ts] = count
         else:
             self._snapshot_leases.pop(snapshot_ts, None)
+
+    def abort_fast_reader(self, txn_id: Optional[int], snapshot_ts: Any) -> None:
+        """Scrub an aborted fast-path attempt from the MVSG bookkeeping.
+
+        Its snapshot reads genuinely happened, but the attempt aborted —
+        leaving them in ``mv_reads``/``_fast_readers`` would certify the
+        very observation the abort exists to reject.  The lease is
+        returned via :meth:`_release_lease`, bypassing the commit-path
+        release hook.
+        """
+        if txn_id is not None and txn_id in self._fast_readers:
+            self._fast_readers.discard(txn_id)
+            self.mv_reads = [read for read in self.mv_reads if read.txn_id != txn_id]
+        self._release_lease(snapshot_ts)
 
     # ------------------------------------------------------------------
     # analysis

@@ -52,7 +52,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.engine.metrics import Metrics
 from repro.engine.mvstore import VersionedRead
-from repro.engine.protocols.base import Decision
+from repro.engine.protocols.base import Decision, SnapshotAborted
 from repro.engine.protocols.multiversion import MultiVersionConcurrencyControl
 
 #: txn_id recorded on footprints left by kernel fast-path readers, which
@@ -127,6 +127,12 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
         self._pending_conflicts: Dict[int, Tuple[bool, bool]] = {}
         #: keys read through each leased fast-path snapshot (SSI only)
         self._lease_reads: Dict[Any, Set[str]] = {}
+        #: inverted pivot index: key -> (commit_ts, txn_id) of the latest
+        #: out-conflicted committed writer of that key.  Serves the
+        #: fast-path committed-pivot check in O(1) per read instead of
+        #: scanning every retained footprint (the same inverted-index
+        #: shape occ.py uses for validation); pruned with the footprints.
+        self._pivot_overwrites: Dict[str, Tuple[int, int]] = {}
         self.first_committer_aborts = 0
         self.ssi_aborts = 0
 
@@ -236,6 +242,7 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
                 footprint.in_conflict = True
             for footprint in in_edges:
                 footprint.out_conflict = True
+                self._note_pivot(footprint)
             self._pending_conflicts[txn_id] = (has_inbound, has_outbound)
         return Decision.grant()
 
@@ -272,6 +279,25 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
         self, key: str, snapshot_ts: Any, txn_id: Optional[int] = None
     ) -> Any:
         if self.serializable:
+            # read-only anomaly with an already-committed pivot: if this
+            # read would observe a version superseded by a committed
+            # writer that itself has an outbound rw-antidependency, the
+            # reader is the inbound edge of a dangerous structure whose
+            # other two participants have both finished — nobody is left
+            # to abort but the reader.  (Commit-time detection cannot
+            # catch this: at the pivot's commit this key had not been
+            # read yet, so the lease carried no inbound edge.)  Served
+            # from the inverted pivot index: stale entries are harmless
+            # because a trimmed pivot's commit_ts lies at or below every
+            # live or future snapshot, so the comparison never fires.
+            pivot = self._pivot_overwrites.get(key)
+            if pivot is not None and pivot[0] > snapshot_ts:
+                self.ssi_aborts += 1
+                self.metrics.incr("si.fastpath_aborts")
+                raise SnapshotAborted(
+                    f"ssi: fast-path read of {key!r} at snapshot "
+                    f"{snapshot_ts} races committed pivot T{pivot[1]}"
+                )
             # remember what rode this lease: a fast-path reader's reads
             # can be the inbound edge of a dangerous structure
             self._lease_reads.setdefault(snapshot_ts, set()).add(key)
@@ -303,9 +329,32 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
         if snapshot_ts not in self._snapshot_leases:
             self._lease_reads.pop(snapshot_ts, None)
 
+    def abort_fast_reader(self, txn_id: Optional[int], snapshot_ts: Any) -> None:
+        """An aborted fast-path attempt leaves no reader footprint behind.
+
+        The base class scrubs the MVSG bookkeeping and returns the lease
+        without the commit-path release hook, so no ``FAST_PATH_READER``
+        footprint is recorded for work that never happened.  The
+        accumulated lease reads are dropped with the last lease on the
+        timestamp; while *other* leases still share it, the set is kept
+        as-is — it may mix in the aborted attempt's keys, which can only
+        over-approximate the surviving readers' eventual footprint (safe,
+        merely conservative).
+        """
+        super().abort_fast_reader(txn_id, snapshot_ts)
+        if self.serializable and snapshot_ts not in self._snapshot_leases:
+            self._lease_reads.pop(snapshot_ts, None)
+
     # ------------------------------------------------------------------
     # SSI footprint bookkeeping
     # ------------------------------------------------------------------
+    def _note_pivot(self, footprint: SIFootprint) -> None:
+        """Index an out-conflicted writer's overwrites for O(1) read checks."""
+        for key in footprint.write_set:
+            existing = self._pivot_overwrites.get(key)
+            if existing is None or footprint.commit_ts > existing[0]:
+                self._pivot_overwrites[key] = (footprint.commit_ts, footprint.txn_id)
+
     def _record_footprint(
         self, txn_id, reads, writes, snapshot_ts, out_conflict: bool = False
     ) -> None:
@@ -314,34 +363,47 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
         pending_in, pending_out = self._pending_conflicts.pop(
             txn_id, (False, out_conflict)
         )
-        self._footprints.append(
-            SIFootprint(
-                txn_id=txn_id,
-                read_set=frozenset(reads),
-                write_set=frozenset(writes),
-                snapshot_ts=snapshot_ts,
-                # writers call this right after ticking the clock, so
-                # this is their commit timestamp; read-only commits carry
-                # the current clock, making them concurrent with exactly
-                # the writers whose snapshots predate it
-                commit_ts=self._commit_ts,
-                in_conflict=pending_in,
-                out_conflict=pending_out,
-            )
+        footprint = SIFootprint(
+            txn_id=txn_id,
+            read_set=frozenset(reads),
+            write_set=frozenset(writes),
+            snapshot_ts=snapshot_ts,
+            # writers call this right after ticking the clock, so
+            # this is their commit timestamp; read-only commits carry
+            # the current clock, making them concurrent with exactly
+            # the writers whose snapshots predate it
+            commit_ts=self._commit_ts,
+            in_conflict=pending_in,
+            out_conflict=pending_out,
         )
+        self._footprints.append(footprint)
+        if pending_out and footprint.write_set:
+            self._note_pivot(footprint)
         self._trim_footprints()
 
     def _trim_footprints(self) -> None:
-        """Drop footprints no active transaction is still concurrent with.
+        """Drop footprints nothing in flight is still concurrent with.
 
         There is deliberately no size cap: truncating still-concurrent
         footprints would silently disable pivot detection, admitting the
         very anomalies ``serializable=True`` exists to prevent.  Growth
-        is bounded by the lifetime of the oldest active snapshot — once
-        it finishes, the horizon advances and the list collapses.
+        is bounded by the lifetime of the oldest in-flight snapshot —
+        once it finishes, the horizon advances and the list collapses.
+
+        The horizon is the lease-aware GC watermark, not just the active
+        transactions' floor: a fast-path reader holds only a snapshot
+        *lease*, and trimming a committed pivot's footprint while such a
+        lease predates it would blind :meth:`snapshot_read`'s
+        committed-pivot check mid-scan.
         """
-        horizon = self._active_floor()
+        horizon = self._gc_watermark()
         self._footprints = [f for f in self._footprints if f.commit_ts > horizon]
+        if len(self._pivot_overwrites) > 2 * len(self._footprints):
+            self._pivot_overwrites = {
+                key: entry
+                for key, entry in self._pivot_overwrites.items()
+                if entry[0] > horizon
+            }
 
     def on_finished(self, txn_id: int) -> None:
         self._snapshots.pop(txn_id, None)

@@ -33,6 +33,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.engine.faults import FaultPlan
 from repro.engine.kernel import EngineKernel, Session, StepKind
 from repro.engine.metrics import Metrics
 from repro.engine.operations import TransactionSpec
@@ -66,6 +67,13 @@ class ExecutionResult:
 
     @property
     def abort_rate(self) -> float:
+        """Fraction of finished transaction *attempts* that aborted.
+
+        Attempt-level, like :attr:`SimulationReport.abort_rate
+        <repro.engine.simulator.SimulationReport.abort_rate>`: a
+        transaction restarted ``k`` times contributes ``k`` aborted
+        attempts plus (at most) one commit.
+        """
         attempts = self.committed + self.aborted_attempts
         return self.aborted_attempts / attempts if attempts else 0.0
 
@@ -89,6 +97,7 @@ class TransactionExecutor:
         max_concurrent: Optional[int] = None,
         wait_policy: str = "event",
         metrics: Optional[Metrics] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if interleaving not in ("round-robin", "random", "serial"):
             raise ValueError(
@@ -99,7 +108,7 @@ class TransactionExecutor:
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError("max_concurrent must be at least 1")
         self.protocol = protocol
-        self.kernel = EngineKernel(protocol, metrics=metrics)
+        self.kernel = EngineKernel(protocol, metrics=metrics, fault_plan=fault_plan)
         self.metrics = self.kernel.metrics
         #: set by the kernel when a parked session is woken mid-round; a
         #: wakeup makes that session runnable next round, so it counts as
@@ -220,7 +229,10 @@ class TransactionExecutor:
         """
         result = self.kernel.step(session)
         if result.kind is StepKind.BLOCKED:
-            return False, False
+            # an injected stall is itself an event (the plan advanced),
+            # so it counts as progress — otherwise a round in which every
+            # live session drew a stall would trip the stuck detector
+            return result.fault is not None, False
         if result.kind is StepKind.ABORTED:
             return True, True
         return True, False
@@ -235,6 +247,7 @@ def run_batch(
     max_attempts: int = 50,
     max_concurrent: Optional[int] = None,
     wait_policy: str = "event",
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ExecutionResult:
     """Convenience helper: build the protocol on ``store`` and run the batch."""
     protocol = protocol_factory(store)
@@ -245,6 +258,7 @@ def run_batch(
         seed=seed,
         max_concurrent=max_concurrent,
         wait_policy=wait_policy,
+        fault_plan=fault_plan,
     )
     return executor.run(specs)
 

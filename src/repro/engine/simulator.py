@@ -43,6 +43,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.engine.faults import FaultPlan
 from repro.engine.kernel import EngineKernel, Session, StepKind
 from repro.engine.metrics import Metrics
 from repro.engine.operations import TransactionSpec
@@ -123,6 +124,19 @@ class SimulationReport:
 
     @property
     def abort_rate(self) -> float:
+        """Fraction of finished transaction *attempts* that aborted.
+
+        ``aborts`` counts attempts, not client transactions: one
+        transaction that restarts ``k`` times before committing
+        contributes ``k`` aborted attempts plus one commit, so the
+        denominator ``committed + aborts`` is the total number of
+        finished attempts.  This is deliberate — the paper's Section 6
+        accounting is per *request*, and an attempt-level rate exposes
+        how much submitted work restarts burn, which a per-transaction
+        rate would hide.  (A transaction that exhausts ``max_attempts``
+        and gives up contributes its aborted attempts but no commit.)
+        Pinned by ``tests/test_engine_simulator.py::TestAbortRateSemantics``.
+        """
         attempts = self.committed + self.aborts
         return self.aborts / attempts if attempts else 0.0
 
@@ -158,12 +172,13 @@ class Simulator:
         workload: Callable[[random.Random], TransactionSpec],
         config: Optional[SimulationConfig] = None,
         metrics: Optional[Metrics] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.protocol = protocol
         self.workload = workload
         self.config = config or SimulationConfig()
         self.rng = random.Random(self.config.seed)
-        self.kernel = EngineKernel(protocol, metrics=metrics)
+        self.kernel = EngineKernel(protocol, metrics=metrics, fault_plan=fault_plan)
         self.metrics = self.kernel.metrics
         self.kernel.wake_sink = self._on_wake
         self._events: List[Tuple[float, int, int]] = []  # (time, seq, client_id)

@@ -1,0 +1,169 @@
+"""CLI for the conformance harness: ``python -m repro.harness``.
+
+Examples
+--------
+Quick differential sweep (the CI soak job)::
+
+    python -m repro.harness --seed 0..9 --protocol all --quick
+
+Replay one failing cell from a counterexample's recipe line::
+
+    python -m repro.harness --seed 7 --protocol serializable-si \
+        --mode executor --wait-policy event
+
+Prove the oracles can catch a seeded bug (exits 0 on detection)::
+
+    python -m repro.harness --mutate ssi-pivot
+
+``REPRO_BENCH_QUICK=1`` implies ``--quick``; ``--report PATH`` writes
+the rendered counterexample (or an all-clear summary) to a file, which
+the CI job uploads as an artifact on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.engine.protocols.registry import PROTOCOL_ENTRIES
+from repro.harness.runner import (
+    MODES,
+    WAIT_POLICIES,
+    mutation_smoke,
+    run_seeds,
+)
+from repro.harness.scenarios import scenario_families
+
+
+def parse_seeds(text: str) -> List[int]:
+    """Accept ``7``, ``0..19`` (inclusive), or ``1,4,9``."""
+    seeds: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if ".." in part:
+            lo, hi = part.split("..", 1)
+            seeds.extend(range(int(lo), int(hi) + 1))
+        elif part:
+            seeds.append(int(part))
+    if not seeds:
+        raise argparse.ArgumentTypeError(f"no seeds in {text!r}")
+    return seeds
+
+
+def _parse_axis(value: str, both: Sequence[str], axis: str) -> Sequence[str]:
+    if value == "both":
+        return tuple(both)
+    if value not in both:
+        raise argparse.ArgumentTypeError(f"{axis} must be 'both' or one of {both}")
+    return (value,)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Cross-protocol conformance: differential fuzzing with shared oracles.",
+    )
+    parser.add_argument(
+        "--seed", type=parse_seeds, default=parse_seeds("0..4"),
+        help="seed, inclusive range 'A..B', or comma list (default 0..4)",
+    )
+    parser.add_argument(
+        "--protocol", default="all",
+        help="'all' or comma-separated registered names "
+             f"({', '.join(PROTOCOL_ENTRIES)})",
+    )
+    parser.add_argument("--mode", default="both", help="both | executor | simulator")
+    parser.add_argument("--wait-policy", default="both", help="both | event | polling")
+    parser.add_argument(
+        "--family", default=None, choices=scenario_families(),
+        help="pin the scenario family (default: seed-chosen)",
+    )
+    parser.add_argument(
+        "--faults", default="auto", choices=["auto", "on", "off"],
+        help="pin fault injection (default 'auto': seed-chosen)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller scenarios and simulations (implied by REPRO_BENCH_QUICK=1)",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the counterexample (or all-clear summary) to PATH",
+    )
+    parser.add_argument(
+        "--mutate", default=None, choices=["ssi-pivot"],
+        help="run the mutation smoke: seed a known bug and demand detection",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    quick = args.quick or os.environ.get("REPRO_BENCH_QUICK") == "1"
+    modes = _parse_axis(args.mode, MODES, "--mode")
+    wait_policies = _parse_axis(args.wait_policy, WAIT_POLICIES, "--wait-policy")
+
+    if args.mutate:
+        counterexample = mutation_smoke(seeds=args.seed, quick=quick)
+        if counterexample is None:
+            print("mutation smoke FAILED: seeded ssi-pivot bug was not detected")
+            return 1
+        print("mutation smoke ok: seeded ssi-pivot bug detected and shrunk")
+        print(counterexample.render())
+        if args.report:
+            with open(args.report, "w") as handle:
+                handle.write(counterexample.render() + "\n")
+        return 0
+
+    protocols = None if args.protocol == "all" else [
+        name.strip() for name in args.protocol.split(",") if name.strip()
+    ]
+    with_faults = {"auto": None, "on": True, "off": False}[args.faults]
+    reports = run_seeds(
+        args.seed,
+        protocols=protocols,
+        modes=modes,
+        wait_policies=wait_policies,
+        quick=quick,
+        family=args.family,
+        with_faults=with_faults,
+    )
+
+    failed = [report for report in reports if not report.ok]
+    for report in reports:
+        print(report.summary())
+    cells = sum(len(report.outcomes) for report in reports)
+    print(
+        f"{len(reports)} seed(s), {cells} cell(s): "
+        f"{'all conforming' if not failed else f'{len(failed)} seed(s) VIOLATING'}"
+    )
+
+    body: List[str] = []
+    for report in failed:
+        if report.counterexample is not None:
+            body.append(report.counterexample.render())
+        if not report.replay_ok:
+            body.append(
+                f"seed {report.seed}: replay mismatch — the same cell produced "
+                f"two different history digests (nondeterminism bug)"
+            )
+    if body:
+        print()
+        print("\n\n".join(body))
+    if args.report:
+        with open(args.report, "w") as handle:
+            if body:
+                handle.write("\n\n".join(body) + "\n")
+            else:
+                handle.write(
+                    "all conforming: "
+                    + ", ".join(report.summary() for report in reports)
+                    + "\n"
+                )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

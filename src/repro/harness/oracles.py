@@ -1,0 +1,245 @@
+"""The shared oracle stack: serializability checkers plus invariants.
+
+One committed history, several judges:
+
+* **conflict-graph** — the single-version certificate: the committed
+  conflict graph (reads at grant positions, writes at commit positions)
+  must be acyclic;
+* **lifted-mvsg** — the agreement guard: the same single-version history
+  *lifted* into a multi-version one (every read is attributed to the
+  committed writer whose install it actually observed, version order =
+  commit order) must pass the MVSG check too.  Conflict-serializable
+  single-version histories are one-copy serializable under this lifting,
+  so a disagreement between the two checkers is itself a bug — in a
+  protocol or in an oracle;
+* **mvsg** — the multi-version certificate over the protocol's actual
+  reads-from log and version orders (:mod:`repro.analysis.mvsg`);
+* the scenario's **invariants**, filtered by the protocol's guarantee.
+
+Verdicts carry a ``required`` flag: plain snapshot isolation runs the
+MVSG oracle too, but only advisorily — write skew is admitted by design,
+and the differential runner must not call a designed-in anomaly a
+conformance failure.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.mvsg import MVHistory, explain_mvsg_cycle, one_copy_serializable
+from repro.engine.mvstore import VersionedRead
+from repro.engine.protocols.base import ConcurrencyControl
+from repro.engine.protocols.registry import (
+    ONE_COPY_SERIALIZABLE,
+    SERIALIZABLE,
+    SNAPSHOT_ISOLATION,
+)
+from repro.harness.recorder import RunContext
+from repro.harness.scenarios import SERIALIZABLE_LEVEL, Scenario
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """One oracle's judgement of one run."""
+
+    oracle: str
+    ok: bool
+    required: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else ("VIOLATION" if self.required else "advisory-fail")
+        text = f"{self.oracle}: {status}"
+        if self.detail and not self.ok:
+            text += f" — {self.detail}"
+        return text
+
+
+# ----------------------------------------------------------------------
+# lifting a single-version history into MVSG form
+# ----------------------------------------------------------------------
+
+
+def lift_single_version_history(protocol: ConcurrencyControl) -> MVHistory:
+    """The committed single-version history as a multi-version one.
+
+    Writes take effect at commit (the engine buffers them), so the
+    version order of each key is the committed writers ordered by commit
+    position, and a read at log position ``s`` observed the version of
+    the last writer whose commit position precedes ``s`` — or its own
+    buffered write (read-your-writes), or the initial version.  Both
+    positions come from the protocol's shared sequence counter, so they
+    are directly comparable.
+    """
+    committed = protocol.committed
+    commit_positions = protocol.commit_positions
+
+    # per key: committed writers sorted by commit position
+    writers_by_key: Dict[str, List[Tuple[int, int]]] = {}
+    seen_writes: Set[Tuple[int, str]] = set()
+    for record in protocol.committed_log():
+        if record.kind != "write":
+            continue
+        marker = (record.txn_id, record.key)
+        if marker in seen_writes:
+            continue
+        seen_writes.add(marker)
+        writers_by_key.setdefault(record.key, []).append(
+            (commit_positions[record.txn_id], record.txn_id)
+        )
+    for entries in writers_by_key.values():
+        entries.sort()
+
+    reads: List[VersionedRead] = []
+    own_writes: Set[Tuple[int, str]] = set()
+    for record in protocol.log:
+        if record.kind == "write":
+            own_writes.add((record.txn_id, record.key))
+            continue
+        if record.txn_id not in committed:
+            continue
+        if (record.txn_id, record.key) in own_writes:
+            # read-your-writes: attribute to the reader itself (the MVSG
+            # builder skips self-edges)
+            reads.append(VersionedRead(record.txn_id, record.key, record.txn_id))
+            continue
+        entries = writers_by_key.get(record.key, [])
+        index = bisect_left(entries, (record.sequence, -1))
+        if index == 0:
+            writer: Optional[int] = None
+        else:
+            writer = entries[index - 1][1]
+        reads.append(VersionedRead(record.txn_id, record.key, writer))
+
+    version_orders = {
+        key: tuple(txn for _, txn in entries)
+        for key, entries in writers_by_key.items()
+    }
+    return MVHistory(
+        committed=frozenset(committed),
+        reads=tuple(reads),
+        version_orders=version_orders,
+    )
+
+
+# ----------------------------------------------------------------------
+# cycle pretty-printing
+# ----------------------------------------------------------------------
+
+
+def explain_conflict_cycle(protocol: ConcurrencyControl) -> Optional[str]:
+    """Render a conflict-graph cycle with a witness key per edge."""
+    graph = protocol.committed_conflict_graph()
+    cycle = graph.find_cycle()
+    if cycle is None:
+        return None
+
+    # rebuild each key's committed timeline (reads at grant positions,
+    # writes at commit positions) to find one witnessing conflict per edge
+    per_key: Dict[str, List[Tuple[int, int, bool]]] = {}
+    seen_writes: Set[Tuple[int, str]] = set()
+    for record in protocol.committed_log():
+        if record.kind == "read":
+            position, is_write = record.sequence, False
+        else:
+            marker = (record.txn_id, record.key)
+            if marker in seen_writes:
+                continue
+            seen_writes.add(marker)
+            position = protocol.commit_positions.get(record.txn_id, record.sequence)
+            is_write = True
+        per_key.setdefault(record.key, []).append((position, record.txn_id, is_write))
+
+    def witness(u: int, v: int) -> str:
+        for key, events in per_key.items():
+            u_events = [(p, w) for p, t, w in events if t == u]
+            v_events = [(p, w) for p, t, w in events if t == v]
+            for u_pos, u_write in u_events:
+                for v_pos, v_write in v_events:
+                    if u_pos < v_pos and (u_write or v_write):
+                        kinds = ("w" if u_write else "r") + ("w" if v_write else "r")
+                        return f"{kinds} on {key!r}"
+        return "conflict"
+
+    edges = [
+        f"T{u} -[{witness(u, v)}]-> T{v}" for u, v in zip(cycle, cycle[1:])
+    ]
+    return "cycle: " + "; ".join(edges)
+
+
+def _mvsg_detail(history: MVHistory) -> str:
+    cycle = explain_mvsg_cycle(history)
+    if cycle is None:
+        return ""
+    return "mvsg cycle: " + " -> ".join(f"T{txn}" for txn in cycle)
+
+
+# ----------------------------------------------------------------------
+# the stack
+# ----------------------------------------------------------------------
+
+
+def invariant_verdicts(
+    scenario: Scenario, ctx: RunContext, guarantee: str
+) -> List[OracleVerdict]:
+    """Judge the scenario invariants appropriate to a guarantee level."""
+    verdicts = []
+    for invariant in scenario.invariants:
+        required = not (
+            invariant.level == SERIALIZABLE_LEVEL and guarantee == SNAPSHOT_ISOLATION
+        )
+        detail = invariant.check(ctx)
+        verdicts.append(
+            OracleVerdict(
+                oracle=f"invariant:{invariant.name}",
+                ok=detail is None,
+                required=required,
+                detail=detail or "",
+            )
+        )
+    return verdicts
+
+
+def evaluate_run(
+    protocol: ConcurrencyControl,
+    scenario: Scenario,
+    ctx: RunContext,
+    guarantee: str,
+) -> List[OracleVerdict]:
+    """Run the full oracle stack over one finished execution."""
+    verdicts: List[OracleVerdict] = []
+    if guarantee == SERIALIZABLE:
+        acyclic = not protocol.committed_conflict_graph().has_cycle()
+        verdicts.append(
+            OracleVerdict(
+                "conflict-graph",
+                acyclic,
+                required=True,
+                detail="" if acyclic else (explain_conflict_cycle(protocol) or ""),
+            )
+        )
+        lifted = lift_single_version_history(protocol)
+        lifted_ok = one_copy_serializable(lifted)
+        verdicts.append(
+            OracleVerdict(
+                "lifted-mvsg",
+                lifted_ok,
+                required=True,
+                detail="" if lifted_ok else _mvsg_detail(lifted),
+            )
+        )
+    else:
+        history = MVHistory.from_protocol(protocol)
+        mvsg_ok = one_copy_serializable(history)
+        verdicts.append(
+            OracleVerdict(
+                "mvsg",
+                mvsg_ok,
+                required=guarantee == ONE_COPY_SERIALIZABLE,
+                detail="" if mvsg_ok else _mvsg_detail(history),
+            )
+        )
+    verdicts.extend(invariant_verdicts(scenario, ctx, guarantee))
+    return verdicts

@@ -1,0 +1,406 @@
+"""The differential conformance runner.
+
+One seeded scenario, every registered protocol, both execution modes,
+both wait policies: each cell of the matrix runs the same transaction
+programs under the same engine seed, records its committed history, and
+answers to the shared oracle stack.  A conforming engine produces **zero
+required-oracle violations in every cell** — that is the cross-run
+agreement the differential design asserts: a protocol may commit more
+or fewer transactions in one mode than another, but none of them may
+ever produce a non-conforming history.
+
+Each seed also gets a **replay check**: the first cell is executed
+twice and must produce byte-identical history digests, which is what
+makes a failing seed a complete reproduction recipe.
+
+When a cell fails, the **minimizing reporter** shrinks the scenario —
+greedily dropping transaction programs while the failure persists — and
+renders a counterexample: the reduced programs, the violated oracles
+with their offending cycle, and the injected-fault log.
+
+The mutation smoke test (:func:`mutation_smoke`) closes the loop on the
+harness itself: it registers a deliberately broken serializable-SI
+(pivot detection disabled) and demands that the harness catch it and
+shrink a counterexample — proof the oracles can actually see the class
+of bug they exist for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.faults import plan_from
+from repro.engine.protocols.registry import (
+    ONE_COPY_SERIALIZABLE,
+    PROTOCOL_ENTRIES,
+    ProtocolEntry,
+)
+from repro.engine.protocols.snapshot_isolation import SnapshotIsolation
+from repro.engine.runtime import TransactionExecutor
+from repro.engine.simulator import SimulationConfig, Simulator
+from repro.engine.storage import DataStore
+from repro.harness.oracles import OracleVerdict, evaluate_run
+from repro.harness.recorder import HistoryRecorder
+from repro.harness.scenarios import Scenario, build_scenario
+
+MODES = ("executor", "simulator")
+WAIT_POLICIES = ("event", "polling")
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One matrix cell: a protocol run and its oracle verdicts."""
+
+    protocol: str
+    mode: str
+    wait_policy: str
+    committed: int
+    digest: str
+    verdicts: Tuple[OracleVerdict, ...]
+    fault_events: Tuple[str, ...] = ()
+
+    @property
+    def violations(self) -> Tuple[OracleVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.required and not v.ok)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def label(self) -> str:
+        return f"{self.protocol}/{self.mode}/{self.wait_policy}"
+
+
+@dataclass
+class Counterexample:
+    """A shrunk failing scenario, ready to show a human."""
+
+    seed: int
+    protocol: str
+    mode: str
+    wait_policy: str
+    original_spec_count: int
+    scenario: Scenario
+    outcome: CellOutcome
+    quick: bool = False
+    #: set when the failing protocol was a seeded mutation (not in the
+    #: registry): the replay command then goes through ``--mutate``
+    mutation: Optional[str] = None
+
+    def replay_command(self) -> str:
+        """A CLI line that re-executes exactly the failing cell.
+
+        Family and fault injection are pinned explicitly (the fuzzer
+        consumes its RNG draws whether or not they are pinned, so the
+        pins are byte-faithful) and ``--quick`` is carried because it
+        changes scenario sizes.
+        """
+        quick = " --quick" if self.quick else ""
+        if self.mutation is not None:
+            return (
+                f"python -m repro.harness --mutate {self.mutation} "
+                f"--seed {self.seed}{quick}"
+            )
+        faults = "on" if self.scenario.fault_spec is not None else "off"
+        return (
+            f"python -m repro.harness --seed {self.seed} "
+            f"--protocol {self.protocol} --mode {self.mode} "
+            f"--wait-policy {self.wait_policy} "
+            f"--family {self.scenario.name} --faults {faults}{quick}"
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"counterexample: seed={self.seed} scenario={self.scenario.name!r} "
+            f"cell={self.protocol}/{self.mode}/{self.wait_policy}",
+            f"shrunk to {len(self.scenario.specs)} of {self.original_spec_count} "
+            f"transactions:",
+            self.scenario.describe(),
+            "violated oracles:",
+        ]
+        for verdict in self.outcome.violations:
+            lines.append(f"  {verdict}")
+        if self.outcome.fault_events:
+            lines.append("injected faults:")
+            for event in self.outcome.fault_events:
+                lines.append(f"  {event}")
+        lines.append(f"replay: {self.replay_command()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ConformanceReport:
+    """Everything one seed produced across the matrix."""
+
+    seed: int
+    scenario: Scenario
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    replay_ok: bool = True
+    counterexample: Optional[Counterexample] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.replay_ok and all(outcome.ok for outcome in self.outcomes)
+
+    def summary(self) -> str:
+        cells = len(self.outcomes)
+        bad = [outcome for outcome in self.outcomes if not outcome.ok]
+        status = "ok" if self.ok else f"{len(bad)} violating cell(s)"
+        faulty = " +faults" if self.scenario.fault_spec is not None else ""
+        replay = "" if self.replay_ok else " REPLAY-MISMATCH"
+        return (
+            f"seed {self.seed} [{self.scenario.name}{faulty}] "
+            f"{cells} cells: {status}{replay}"
+        )
+
+
+# ----------------------------------------------------------------------
+# cell execution
+# ----------------------------------------------------------------------
+
+
+def run_cell(
+    entry: ProtocolEntry,
+    scenario: Scenario,
+    mode: str,
+    wait_policy: str,
+    quick: bool = False,
+) -> CellOutcome:
+    """Execute one matrix cell and judge it with the oracle stack."""
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    store = DataStore(dict(scenario.initial_data))
+    protocol = entry.factory(store)
+    recorder = HistoryRecorder()
+    fault_plan = plan_from(scenario.fault_spec)
+
+    if mode == "executor":
+        executor = TransactionExecutor(
+            protocol,
+            max_attempts=300,
+            interleaving="random",
+            seed=scenario.seed,
+            wait_policy=wait_policy,
+            fault_plan=fault_plan,
+        )
+        recorder.attach(executor.kernel)
+        executor.run(list(scenario.specs))
+    else:
+        config = SimulationConfig(
+            num_clients=6,
+            duration=90.0 if quick else 220.0,
+            seed=scenario.seed,
+            wait_policy=wait_policy,
+            abort_backoff=2.0,
+            max_attempts=40,
+        )
+        simulator = Simulator(
+            protocol, scenario.generator(), config, fault_plan=fault_plan
+        )
+        recorder.attach(simulator.kernel)
+        simulator.run()
+
+    final_snapshot = protocol.store.snapshot()
+    ctx = recorder.context(scenario.initial_data, final_snapshot)
+    verdicts = evaluate_run(protocol, scenario, ctx, entry.guarantee)
+    events = tuple(str(event) for event in fault_plan.events) if fault_plan else ()
+    return CellOutcome(
+        protocol=entry.name,
+        mode=mode,
+        wait_policy=wait_policy,
+        committed=len(ctx.commits),
+        digest=recorder.digest(final_snapshot),
+        verdicts=tuple(verdicts),
+        fault_events=events,
+    )
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+
+
+def shrink_failing_scenario(
+    entry: ProtocolEntry,
+    scenario: Scenario,
+    mode: str,
+    wait_policy: str,
+    quick: bool = False,
+    budget: int = 160,
+) -> Tuple[Scenario, CellOutcome]:
+    """Greedily drop transactions while the cell keeps failing.
+
+    Classic ddmin-lite: one removal at a time, restart after every
+    success, stop at a fixpoint or when the re-run budget is spent.
+    Deterministic — every candidate runs under the same seeds.
+    """
+    current = scenario
+    outcome = run_cell(entry, current, mode, wait_policy, quick)
+    runs = 1
+    improved = True
+    while improved and runs < budget and len(current.specs) > 1:
+        improved = False
+        for index in range(len(current.specs)):
+            candidate = current.with_specs(
+                current.specs[:index] + current.specs[index + 1:]
+            )
+            candidate_outcome = run_cell(entry, candidate, mode, wait_policy, quick)
+            runs += 1
+            if not candidate_outcome.ok:
+                current, outcome = candidate, candidate_outcome
+                improved = True
+                break
+            if runs >= budget:
+                break
+    return current, outcome
+
+
+# ----------------------------------------------------------------------
+# the matrix
+# ----------------------------------------------------------------------
+
+
+def _resolve_entries(
+    protocols: Optional[Sequence[str]],
+    entries: Optional[Mapping[str, ProtocolEntry]],
+) -> List[ProtocolEntry]:
+    registry = PROTOCOL_ENTRIES if entries is None else entries
+    if protocols is None:
+        return list(registry.values())
+    resolved = []
+    for name in protocols:
+        if name not in registry:
+            known = ", ".join(registry)
+            raise KeyError(f"unknown protocol {name!r}; registered: {known}")
+        resolved.append(registry[name])
+    return resolved
+
+
+def run_seed(
+    seed: int,
+    protocols: Optional[Sequence[str]] = None,
+    modes: Sequence[str] = MODES,
+    wait_policies: Sequence[str] = WAIT_POLICIES,
+    quick: bool = False,
+    family: Optional[str] = None,
+    with_faults: Optional[bool] = None,
+    entries: Optional[Mapping[str, ProtocolEntry]] = None,
+    shrink: bool = True,
+) -> ConformanceReport:
+    """Run the full differential matrix for one seed."""
+    scenario = build_scenario(seed, quick=quick, family=family, with_faults=with_faults)
+    report = ConformanceReport(seed=seed, scenario=scenario)
+    selected = _resolve_entries(protocols, entries)
+    for entry in selected:
+        for mode in modes:
+            for wait_policy in wait_policies:
+                outcome = run_cell(entry, scenario, mode, wait_policy, quick)
+                report.outcomes.append(outcome)
+                if not outcome.ok and report.counterexample is None and shrink:
+                    shrunk, shrunk_outcome = shrink_failing_scenario(
+                        entry, scenario, mode, wait_policy, quick
+                    )
+                    report.counterexample = Counterexample(
+                        seed=seed,
+                        protocol=entry.name,
+                        mode=mode,
+                        wait_policy=wait_policy,
+                        original_spec_count=len(scenario.specs),
+                        scenario=shrunk,
+                        outcome=shrunk_outcome,
+                        quick=quick,
+                    )
+    # byte-identical replay: re-run the first cell, compare digests
+    if report.outcomes and selected:
+        first = report.outcomes[0]
+        rerun = run_cell(selected[0], scenario, first.mode, first.wait_policy, quick)
+        report.replay_ok = rerun.digest == first.digest
+    return report
+
+
+def run_seeds(
+    seeds: Iterable[int],
+    protocols: Optional[Sequence[str]] = None,
+    modes: Sequence[str] = MODES,
+    wait_policies: Sequence[str] = WAIT_POLICIES,
+    quick: bool = False,
+    family: Optional[str] = None,
+    with_faults: Optional[bool] = None,
+    entries: Optional[Mapping[str, ProtocolEntry]] = None,
+) -> List[ConformanceReport]:
+    """The soak loop: one differential matrix per seed."""
+    return [
+        run_seed(
+            seed,
+            protocols=protocols,
+            modes=modes,
+            wait_policies=wait_policies,
+            quick=quick,
+            family=family,
+            with_faults=with_faults,
+            entries=entries,
+        )
+        for seed in seeds
+    ]
+
+
+# ----------------------------------------------------------------------
+# mutation smoke: prove the oracles can see the bug class they hunt
+# ----------------------------------------------------------------------
+
+
+def broken_serializable_si_entry() -> ProtocolEntry:
+    """serializable-SI with pivot detection disabled (a seeded bug).
+
+    The commit-time dangerous-structure check is skipped, turning the
+    protocol into plain SI while it still *claims* one-copy
+    serializability — exactly the committed-pivot gap class fixed in
+    PR 3.  The harness must catch the lie via the MVSG oracle.
+    """
+
+    class BrokenSerializableSI(SnapshotIsolation):
+        def __init__(self, store) -> None:
+            super().__init__(store, serializable=True)
+
+        def on_commit(self, txn_id: int):
+            self.serializable = False
+            try:
+                return super().on_commit(txn_id)
+            finally:
+                self.serializable = True
+
+    return ProtocolEntry(
+        "serializable-si[broken-pivot]",
+        BrokenSerializableSI,
+        ONE_COPY_SERIALIZABLE,
+        multiversion=True,
+    )
+
+
+def mutation_smoke(
+    seeds: Iterable[int] = range(12),
+    quick: bool = True,
+) -> Optional[Counterexample]:
+    """Hunt write-skew scenarios with the broken SSI until one is caught.
+
+    Returns the shrunk counterexample from the first seed whose matrix
+    cell flags the seeded bug, or ``None`` if no seed in the budget
+    exposed it (which the test suite treats as a harness failure).
+    """
+    entry = broken_serializable_si_entry()
+    for seed in seeds:
+        report = run_seed(
+            seed,
+            protocols=[entry.name],
+            modes=("executor",),
+            wait_policies=("event",),
+            quick=quick,
+            family="write-skew",
+            with_faults=False,
+            entries={entry.name: entry},
+        )
+        if report.counterexample is not None:
+            report.counterexample.mutation = "ssi-pivot"
+            return report.counterexample
+    return None

@@ -1,0 +1,81 @@
+"""Shared hypothesis strategies for the test suite.
+
+Before ISSUE 4 these lived as local copies — the schedule/system
+strategies in ``test_properties.py`` and the engine-batch strategy in
+``test_engine_mvcc.py`` — and were starting to drift.  They are now one
+module: property tests over the core theory, the MV protocols, and the
+conformance harness all draw the same shapes.
+
+``pytest`` puts this directory on ``sys.path`` (rootdir insertion), so
+test modules import it as ``from strategies import ...``.
+"""
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.core.schedules import random_schedule
+from repro.core.transactions import make_system
+from repro.engine.operations import TransactionSpec, read_op, update_op, write_op
+
+# ----------------------------------------------------------------------
+# core-theory shapes (formats, systems, schedules)
+# ----------------------------------------------------------------------
+
+#: a transaction-system format: 2-3 transactions of 1-3 steps each
+formats = st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=3).map(tuple)
+
+variable_names = st.sampled_from(["x", "y", "z"])
+
+
+@st.composite
+def small_systems(draw):
+    """A random transaction system with 2-3 transactions of 1-3 update steps."""
+    n_txns = draw(st.integers(min_value=2, max_value=3))
+    sequences = [
+        draw(st.lists(variable_names, min_size=1, max_size=3)) for _ in range(n_txns)
+    ]
+    return make_system(*sequences)
+
+
+@st.composite
+def system_with_schedule(draw):
+    """A small system paired with a random legal schedule of it."""
+    system = draw(small_systems())
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    schedule = random_schedule(system, random.Random(seed))
+    return system, schedule
+
+
+# ----------------------------------------------------------------------
+# engine shapes (transaction-spec batches)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def small_batches(draw, min_transactions=2, max_transactions=8):
+    """``(keys, specs, seed)``: a small engine batch over few hot keys.
+
+    The shape that shakes protocol bugs loose: 2-4 keys, 1-4 operations
+    per transaction, read/update/blind-write mixed, plus an executor
+    seed for the interleaving.
+    """
+    num_keys = draw(st.integers(min_value=2, max_value=4))
+    keys = [f"k{i}" for i in range(num_keys)]
+    specs = []
+    for index in range(
+        draw(st.integers(min_value=min_transactions, max_value=max_transactions))
+    ):
+        ops = []
+        for _ in range(draw(st.integers(min_value=1, max_value=4))):
+            key = draw(st.sampled_from(keys))
+            kind = draw(st.sampled_from(["read", "update", "write"]))
+            if kind == "read":
+                ops.append(read_op(key))
+            elif kind == "update":
+                ops.append(update_op(key, lambda reads, _k=key: reads[_k] + 1))
+            else:
+                ops.append(write_op(key, index))
+        specs.append(TransactionSpec(ops, name=f"t{index}"))
+    seed = draw(st.integers(min_value=0, max_value=1_000))
+    return keys, specs, seed

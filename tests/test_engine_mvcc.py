@@ -20,6 +20,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from strategies import small_batches
+
 from repro.analysis.mvsg import MVHistory, explain_mvsg_cycle, one_copy_serializable
 from repro.engine.kernel import EngineKernel, StepKind
 from repro.engine.mvstore import MultiVersionDataStore, ShardedMultiVersionDataStore
@@ -524,27 +526,6 @@ class TestExecutorIntegration:
 # ----------------------------------------------------------------------
 
 
-@st.composite
-def small_batches(draw):
-    num_keys = draw(st.integers(min_value=2, max_value=4))
-    keys = [f"k{i}" for i in range(num_keys)]
-    specs = []
-    for index in range(draw(st.integers(min_value=2, max_value=8))):
-        ops = []
-        for _ in range(draw(st.integers(min_value=1, max_value=4))):
-            key = draw(st.sampled_from(keys))
-            kind = draw(st.sampled_from(["read", "update", "write"]))
-            if kind == "read":
-                ops.append(read_op(key))
-            elif kind == "update":
-                ops.append(update_op(key, lambda reads, _k=key: reads[_k] + 1))
-            else:
-                ops.append(write_op(key, index))
-        specs.append(TransactionSpec(ops, name=f"t{index}"))
-    seed = draw(st.integers(min_value=0, max_value=1_000))
-    return keys, specs, seed
-
-
 @settings(max_examples=40, deadline=None)
 @given(small_batches())
 def test_mvto_histories_are_always_one_copy_serializable(batch):
@@ -669,6 +650,191 @@ class TestReadOnlyAnomaly:
         # the certified history includes the fast reader's observation
         # (y from the writer, x initial) and is correctly non-1SR
         assert not protocol.committed_history_serializable()
+
+
+class TestFastPathCommittedPivot:
+    """Harness-found (ISSUE 4): Fekete's read-only anomaly where the
+    fast-path reader reads the overwritten key only *after* the pivot
+    committed.  At the pivot's commit the lease carried no inbound edge
+    (the key had not been read yet), so commit-time detection cannot
+    fire; the reader itself must abort and retry on a fresh snapshot."""
+
+    def _build(self):
+        protocol = SnapshotIsolation(_mv_store({"x": 0, "y": 0}), serializable=True)
+        # B (the pivot, id 102): snapshot before A's commit, reads x.
+        protocol.begin(102)
+        assert protocol.read(102, "x").value == 0
+        # A (id 101) overwrites x and commits first: B ->rw A.
+        protocol.begin(101)
+        protocol.write(101, "x", 10)
+        assert protocol.commit(101).granted
+        return protocol
+
+    def test_fast_path_read_after_pivot_commit_aborts(self):
+        from repro.engine.protocols.base import SnapshotAborted
+
+        protocol = self._build()
+        lease = protocol.readonly_snapshot()  # after A, before B
+        assert protocol.snapshot_read("x", lease) == 10  # wr edge A -> R
+        # B writes y and commits: the lease has not read y, so the
+        # commit-time bridge sees no inbound edge — B commits as the pivot.
+        protocol.write(102, "y", 20)
+        assert protocol.commit(102).granted
+        # R now reads y: the stale version would close R ->rw B ->rw A
+        # among three finished transactions — the reader must die instead.
+        with pytest.raises(SnapshotAborted, match="pivot"):
+            protocol.snapshot_read("y", lease)
+        assert protocol.ssi_aborts >= 1
+
+    def test_pivot_footprint_survives_trimming_while_leased(self):
+        """Review-found hole in the fix: footprint trimming must use the
+        lease-aware horizon.  With no active protocol transactions, an
+        unrelated commit between the pivot's commit and the stale read
+        would otherwise trim the pivot's footprint and blind the check."""
+        from repro.engine.protocols.base import SnapshotAborted
+
+        protocol = self._build()
+        protocol.begin(103)  # extra key for the unrelated committer
+        protocol.write(103, "z", 1)
+        assert protocol.commit(103).granted
+        lease = protocol.readonly_snapshot()
+        assert protocol.snapshot_read("x", lease) == 10
+        protocol.write(102, "y", 20)
+        assert protocol.commit(102).granted  # the pivot commits
+        # an unrelated transaction commits, triggering footprint trimming
+        # while only the reader's lease is still concurrent with the pivot
+        protocol.begin(104)
+        protocol.write(104, "z", 2)
+        assert protocol.commit(104).granted
+        with pytest.raises(SnapshotAborted, match="pivot"):
+            protocol.snapshot_read("y", lease)
+
+    def test_kernel_restarts_the_reader_on_a_fresh_snapshot(self):
+        protocol = self._build()
+        kernel = EngineKernel(protocol)
+        reader = kernel.new_session(
+            TransactionSpec([read_op("x"), read_op("y")], name="ro", read_only=True), 0
+        )
+        kernel.step(reader)  # begin: lease after A's commit
+        kernel.step(reader)  # read x = 10
+        doomed_txn = reader.txn_id
+        protocol.write(102, "y", 20)
+        assert protocol.commit(102).granted  # the pivot commits
+        result = kernel.step(reader)  # read y: aborted, lease released
+        assert result.kind is StepKind.ABORTED
+        assert "pivot" in result.decision.reason
+        assert reader.fast_snapshot is None
+        # the aborted attempt leaves no ghost reader footprint and no
+        # dangling lease: a FAST_PATH_READER footprint here would make
+        # later committers see phantom inbound edges
+        from repro.engine.protocols.snapshot_isolation import FAST_PATH_READER
+
+        assert all(f.txn_id != FAST_PATH_READER for f in protocol._footprints)
+        assert not protocol._snapshot_leases
+        assert not protocol._lease_reads
+        kernel.restart(reader)
+        while not reader.committed:
+            kernel.step(reader)
+        # the retry took a fresh snapshot and saw a consistent state
+        assert reader.reads == {"x": 10, "y": 20}
+        # the aborted attempt's reads were scrubbed: the certificate
+        # covers only what actually happened, and it is 1SR
+        assert doomed_txn not in protocol.mvsg_transactions()
+        assert all(read.txn_id != doomed_txn for read in protocol.mv_reads)
+        assert protocol.committed_history_serializable()
+        assert kernel.metrics.count("kernel.readonly_aborts") == 1
+
+
+class TestSnapshotLeaseGC:
+    """Watermark GC under leased read-only snapshots (ISSUE 4 satellite):
+    a leased version is pinned no matter how much newer history commits,
+    and reclaiming resumes once the lease is released."""
+
+    def _committing_writer(self, protocol, txn_id, key, value):
+        protocol.begin(txn_id)
+        protocol.write(txn_id, key, value)
+        assert protocol.commit(txn_id).granted
+
+    def test_gc_never_reclaims_a_pinned_version(self):
+        protocol = SnapshotIsolation(_mv_store({"a": 0}), gc_interval=1)
+        self._committing_writer(protocol, 1, "a", 1)
+        lease = protocol.readonly_snapshot()
+        pinned = protocol.store.read_as_of("a", lease).value
+        # every commit now triggers a GC pass, but the watermark stays
+        # at the lease, so the leased version survives arbitrarily long
+        for txn_id in range(2, 12):
+            self._committing_writer(protocol, txn_id, "a", txn_id)
+        assert protocol.store.read_as_of("a", lease).value == pinned
+        chain_while_leased = len(protocol.store.version_chain("a"))
+        assert chain_while_leased >= 10  # nothing at/above the lease went
+        protocol.release_snapshot(lease)
+        self._committing_writer(protocol, 50, "a", 50)
+        assert len(protocol.store.version_chain("a")) < chain_while_leased
+        with pytest.raises(Exception):
+            protocol.store.read_as_of("a", lease - 1)
+
+    def test_lease_expiry_mid_scan_is_impossible(self):
+        """A kernel fast-path reader holds its lease for the whole scan:
+        GC triggered by writers finishing mid-scan must never pull a
+        version the scan still needs, so every read succeeds and the
+        observed values form one consistent snapshot."""
+        keys = [f"k{i}" for i in range(6)]
+        protocol = SnapshotIsolation(
+            _mv_store({key: 0 for key in keys}), gc_interval=1
+        )
+        kernel = EngineKernel(protocol)
+        reader = kernel.new_session(
+            TransactionSpec([read_op(key) for key in keys], name="scan", read_only=True),
+            0,
+        )
+        kernel.step(reader)  # begin: lease at the current snapshot
+        next_txn = 100
+        for key in keys:
+            result = kernel.step(reader)  # one scan step
+            assert result.kind is StepKind.GRANTED
+            # between scan steps, writers overwrite every key and each
+            # finish runs a GC pass (gc_interval=1)
+            for target in keys:
+                protocol.begin(next_txn)
+                protocol.write(next_txn, target, next_txn)
+                assert protocol.commit(next_txn).granted
+                next_txn += 1
+        # while the lease is held, every GC pass finds nothing
+        # reclaimable: the lease pins the watermark below every
+        # superseded version, so the chains just grow
+        assert protocol.store.versions_collected == 0
+        held = protocol.store.total_versions()
+        final = kernel.step(reader)
+        assert final.kind is StepKind.COMMITTED
+        assert reader.reads == {key: 0 for key in keys}  # one snapshot
+        assert protocol.committed_history_serializable()
+        # the lease is gone: the next finished transaction's GC pass
+        # reclaims the history the scan was pinning
+        protocol.begin(next_txn)
+        protocol.write(next_txn, keys[0], -1)
+        assert protocol.commit(next_txn).granted
+        assert protocol.store.versions_collected > 0
+        assert protocol.store.total_versions() < held
+
+    def test_gc_resumes_after_scan_finishes(self):
+        protocol = SnapshotIsolation(_mv_store({"a": 0}), gc_interval=4)
+        kernel = EngineKernel(protocol)
+        reader = kernel.new_session(
+            TransactionSpec([read_op("a")], name="ro", read_only=True), 0
+        )
+        kernel.step(reader)  # takes the lease
+        for txn_id in range(1, 20):
+            protocol.begin(txn_id)
+            protocol.write(txn_id, "a", txn_id)
+            assert protocol.commit(txn_id).granted
+        held = protocol.store.total_versions()
+        while not reader.committed:
+            kernel.step(reader)  # finishes the scan, releases the lease
+        for txn_id in range(20, 30):
+            protocol.begin(txn_id)
+            protocol.write(txn_id, "a", txn_id)
+            assert protocol.commit(txn_id).granted
+        assert protocol.store.total_versions() < held
 
 
 class TestStoreReuse:

@@ -97,3 +97,76 @@ class TestCompareProtocols:
         assert set(reports) == {"serial", "2pl", "sgt"}
         assert all(r.committed_serializable for r in reports.values())
         assert all(r.committed > 0 for r in reports.values())
+
+
+class _AbortFirstCommits(StrictTwoPhaseLocking):
+    """Aborts the first ``n`` commit requests it ever sees, then behaves
+    normally — a deterministic way to force restarts of one client
+    transaction."""
+
+    def __init__(self, store, n=2):
+        super().__init__(store)
+        self._denials_left = n
+
+    def on_commit(self, txn_id):
+        if self._denials_left > 0:
+            self._denials_left -= 1
+            from repro.engine.protocols.base import Decision
+
+            return Decision.abort("test: forced commit abort")
+        return super().on_commit(txn_id)
+
+
+class TestAbortRateSemantics:
+    """Pin the attempt-level semantics of ``abort_rate`` (ISSUE 4): each
+    restart of one client transaction counts as a distinct aborted
+    attempt, so the denominator is finished *attempts*, not distinct
+    transactions."""
+
+    def test_restarts_of_one_transaction_each_count(self):
+        initial, generate = uniform_generator(WorkloadConfig(num_keys=8))
+        store = DataStore(initial)
+        config = SimulationConfig(
+            num_clients=1, duration=120, seed=1, abort_backoff=1.0
+        )
+        report = Simulator(_AbortFirstCommits(store, n=2), generate, config).run()
+        # one client: both forced aborts hit the same logical transaction,
+        # and both count — the rate is attempts-based
+        assert report.aborts == 2
+        assert report.committed > 0
+        assert report.abort_rate == pytest.approx(
+            2 / (report.committed + 2)
+        )
+
+    def test_rate_is_aborts_over_finished_attempts(self):
+        from repro.engine.simulator import LatencyBreakdown, SimulationReport
+
+        report = SimulationReport(
+            protocol_name="x",
+            duration=1.0,
+            committed=3,
+            aborts=2,
+            blocks=0,
+            operations=0,
+            delay_free_transactions=0,
+            mean_response_time=0.0,
+            mean_breakdown=LatencyBreakdown(),
+            committed_serializable=True,
+            final_snapshot={},
+        )
+        assert report.abort_rate == pytest.approx(0.4)  # 2 / (3 + 2)
+
+    def test_executor_abort_rate_matches(self):
+        from repro.engine.operations import TransactionSpec, increment_op
+        from repro.engine.runtime import TransactionExecutor
+
+        # disjoint keys: the only aborts are the two forced ones
+        specs = [
+            TransactionSpec([increment_op(f"k{i}")], name=f"t{i}") for i in range(5)
+        ]
+        store = DataStore({f"k{i}": 0 for i in range(5)})
+        executor = TransactionExecutor(_AbortFirstCommits(store, n=2))
+        result = executor.run(specs)
+        assert result.aborted_attempts == 2
+        assert result.committed == 5
+        assert result.abort_rate == pytest.approx(2 / 7)

@@ -1,8 +1,14 @@
-"""Property-based tests (hypothesis) on the core data structures and invariants."""
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+The strategies live in ``tests/strategies.py``, shared with the MVCC and
+conformance-harness property tests.
+"""
 
 import random
 
 from hypothesis import given, settings, strategies as st
+
+from strategies import formats, small_systems, system_with_schedule, variable_names
 
 from repro.core.herbrand import herbrand_final_state
 from repro.core.schedules import (
@@ -19,7 +25,7 @@ from repro.core.serializability import (
     is_conflict_serializable,
     is_serializable,
 )
-from repro.core.transactions import TransactionSystem, Transaction, make_system, update_step
+from repro.core.transactions import Transaction, update_step
 from repro.engine.protocols.sgt import SerializationGraphTesting
 from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
 from repro.engine.protocols.timestamp_ordering import TimestampOrdering
@@ -31,33 +37,6 @@ from repro.locking.lock_manager import is_lock_feasible, lock_feasible_schedules
 from repro.locking.two_phase import TwoPhaseLockingPolicy, two_phase_lock
 from repro.locking.policies import is_two_phase, is_well_formed, is_well_nested
 from repro.util.graphs import DiGraph
-
-
-# ----------------------------------------------------------------------
-# strategies
-# ----------------------------------------------------------------------
-
-formats = st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=3).map(tuple)
-
-variable_names = st.sampled_from(["x", "y", "z"])
-
-
-@st.composite
-def small_systems(draw):
-    """A random transaction system with 2-3 transactions of 1-3 update steps."""
-    n_txns = draw(st.integers(min_value=2, max_value=3))
-    sequences = [
-        draw(st.lists(variable_names, min_size=1, max_size=3)) for _ in range(n_txns)
-    ]
-    return make_system(*sequences)
-
-
-@st.composite
-def system_with_schedule(draw):
-    system = draw(small_systems())
-    seed = draw(st.integers(min_value=0, max_value=10_000))
-    schedule = random_schedule(system, random.Random(seed))
-    return system, schedule
 
 
 # ----------------------------------------------------------------------
