@@ -13,6 +13,7 @@ benchmark modules, so ``from _bench_env import QUICK`` always resolves
 here.)
 """
 
+import json
 import os
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
@@ -21,3 +22,39 @@ QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 #: shared so the cross-protocol comparisons always run at the same scale.
 #: Durations stay per-module — they genuinely differ per experiment.
 NUM_CLIENTS = 24 if QUICK else 120
+
+
+def sched_json_path():
+    """Where the scheduler benchmarks write their shared summary.
+
+    ``BENCH_sched.json`` holds two sections written by two modules
+    (``test_bench_sched.py`` and ``test_bench_shard_parallel.py``), so
+    the path logic lives here.  Same rules as the OCC bench: an explicit
+    ``REPRO_BENCH_SCHED_JSON`` path always wins (the CI smoke job sets
+    one to upload it as an artifact); otherwise full-scale runs update
+    the committed file and quick runs write nothing.
+    """
+    explicit = os.environ.get("REPRO_BENCH_SCHED_JSON", "")
+    if explicit:
+        return explicit
+    if not QUICK:
+        return os.path.join(os.path.dirname(__file__), "BENCH_sched.json")
+    return None
+
+
+def update_bench_json(path, section, payload, **top_level):
+    """Merge one benchmark's section into a shared summary file."""
+    if not path:
+        return
+    summary = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                summary = json.load(handle)
+        except (OSError, ValueError):
+            summary = {}
+    summary.update(top_level)
+    summary[section] = payload
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")

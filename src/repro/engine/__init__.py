@@ -44,7 +44,8 @@ from repro.engine.mvstore import (
 )
 from repro.engine.metrics import NULL_METRICS, Counter, Histogram, Metrics, NullMetrics
 from repro.engine.faults import FaultEvent, FaultPlan, FaultSpec
-from repro.engine.kernel import EngineKernel, Session, StepKind, StepResult
+from repro.engine.kernel import EngineKernel, RunQueue, Session, StepKind, StepResult
+from repro.engine.parallel import ParallelShardRunner
 from repro.engine.operations import (
     Operation,
     OperationKind,
@@ -94,6 +95,7 @@ from repro.engine.workloads import (
     zipfian_workload,
     readonly_heavy_workload,
     zipfian_hotspot_workload,
+    hotspot_queue_workload,
     read_mostly_workload,
     partitioned_workload,
     long_scan_workload,
@@ -129,6 +131,8 @@ __all__ = [
     "get_entry",
     "protocol_names",
     "EngineKernel",
+    "RunQueue",
+    "ParallelShardRunner",
     "Session",
     "StepKind",
     "StepResult",
@@ -165,6 +169,7 @@ __all__ = [
     "zipfian_workload",
     "readonly_heavy_workload",
     "zipfian_hotspot_workload",
+    "hotspot_queue_workload",
     "read_mostly_workload",
     "partitioned_workload",
     "long_scan_workload",

@@ -39,8 +39,9 @@ abort/block rates to zero on read-mostly workloads.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.faults import (
     ABORT_ACTION,
@@ -201,6 +202,133 @@ class StepResult:
         )
 
 
+class RunQueue:
+    """A round-ordered run queue plus a cooldown wheel.
+
+    The untimed executor's scheduling structure: session ids that are
+    runnable *this* round live in a min-heap (so round-robin drains them
+    in creation order, exactly like the legacy per-round scan), sessions
+    that become runnable next round accumulate in a second heap, and
+    sessions sitting out an abort backoff are parked in a wheel keyed by
+    the absolute round at which their cooldown expires.  Blocked
+    sessions appear in none of the three — they re-enter through
+    :meth:`push_wake` when the kernel's wake notification fires — so one
+    scheduling round costs O(runnable), not O(live).
+
+    The timed :class:`~repro.engine.simulator.Simulator` needs no
+    separate structure: its event heap is this queue with real-valued
+    rounds (the cooldown wheel is ``abort_backoff``, the wake path is
+    :attr:`EngineKernel.wake_sink` scheduling an event at the wake
+    time), which is why only the executor instantiates this class.
+
+    Round bookkeeping mirrors the legacy scan exactly: a session that
+    aborts in round ``R`` with cooldown ``c`` would have burnt one
+    cooldown unit in each of rounds ``R+1 .. R+c`` and stepped again in
+    ``R+c+1``, so :meth:`schedule_cooldown` files it at ``R + c + 1``
+    directly and :meth:`advance` skips the empty rounds in between.  A
+    wake that lands mid-round targets the current round when the woken
+    session's id is still ahead of the drain cursor (the legacy scan
+    would have reached it later this same round) and the next round
+    otherwise.
+    """
+
+    __slots__ = ("round", "_current", "_next", "_wheel", "_cursor")
+
+    def __init__(self) -> None:
+        #: the absolute round number currently being drained
+        self.round = 0
+        self._current: List[int] = []
+        self._next: List[int] = []
+        self._wheel: List[Tuple[int, int]] = []
+        self._cursor = -1
+
+    # ------------------------------------------------------------------
+    # enqueuing
+    # ------------------------------------------------------------------
+    def push_current(self, session_id: int) -> None:
+        """Make a session runnable in the round being drained."""
+        heapq.heappush(self._current, session_id)
+
+    def push_next(self, session_id: int) -> None:
+        """Make a session runnable from the following round on."""
+        heapq.heappush(self._next, session_id)
+
+    def push_wake(self, session_id: int) -> None:
+        """Route a woken session: current round if the drain cursor has
+        not passed it yet (ids drain in ascending order, so anything
+        above the cursor is still due this round), next round otherwise."""
+        if session_id > self._cursor:
+            heapq.heappush(self._current, session_id)
+        else:
+            heapq.heappush(self._next, session_id)
+
+    def schedule_cooldown(self, session_id: int, cooldown: int) -> None:
+        """Park a session in the wheel until its backoff expires."""
+        heapq.heappush(self._wheel, (self.round + cooldown + 1, session_id))
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+    def advance(self) -> bool:
+        """Begin the next non-empty round; False when nothing is queued.
+
+        Skips straight to the earliest cooldown expiry when no session
+        is runnable sooner — empty rounds are unobservable (no protocol
+        interaction can happen in them), so burning them one by one
+        would be pure overhead.
+        """
+        if self._current:
+            raise RuntimeError("advance() called with the current round undrained")
+        if self._next:
+            self.round += 1
+        elif self._wheel:
+            self.round = max(self.round + 1, self._wheel[0][0])
+        else:
+            return False
+        self._current, self._next = self._next, self._current
+        self._cursor = -1
+        return True
+
+    def expired_cooldowns(self) -> List[int]:
+        """Pop the sessions whose cooldown ends in the current round."""
+        expired: List[int] = []
+        while self._wheel and self._wheel[0][0] <= self.round:
+            expired.append(heapq.heappop(self._wheel)[1])
+        return expired
+
+    def pop(self) -> Optional[int]:
+        """The next session id of the current round, in ascending order."""
+        if not self._current:
+            return None
+        self._cursor = heapq.heappop(self._current)
+        return self._cursor
+
+    def drain_current(self) -> List[int]:
+        """Take the whole current round at once (ascending), for callers
+        that impose their own order — the executor's random interleaving
+        draws from this bucket instead of popping in id order."""
+        bucket = sorted(self._current)
+        self._current.clear()
+        self._cursor = -1
+        return bucket
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def cooling(self) -> bool:
+        """Whether any session is parked in the cooldown wheel."""
+        return bool(self._wheel)
+
+    @property
+    def pending(self) -> bool:
+        """Whether any session is queued for this round or a later one."""
+        return bool(self._current or self._next or self._wheel)
+
+    def __len__(self) -> int:
+        return len(self._current) + len(self._next) + len(self._wheel)
+
+
 class EngineKernel:
     """Drive sessions through a protocol; wake blocked sessions on events.
 
@@ -248,8 +376,36 @@ class EngineKernel:
         #: conformance harness's history-recorder hook.
         self.commit_sink: Optional[Callable[[Session], None]] = None
         self.fault_plan = fault_plan
-        protocol.add_finish_listener(self._on_txn_finished)
-        protocol.add_wake_listener(self._on_wake_request)
+        self._attached = False
+        self.attach()
+
+    # ------------------------------------------------------------------
+    # protocol subscription lifecycle
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Subscribe to the protocol's finish/wake notifications (idempotent).
+
+        Kernels attach on construction; a front-end re-attaches at the
+        start of a run in case the kernel was detached after a previous
+        one.
+        """
+        if not self._attached:
+            self.protocol.add_finish_listener(self._on_txn_finished)
+            self.protocol.add_wake_listener(self._on_wake_request)
+            self._attached = True
+
+    def detach(self) -> None:
+        """Unsubscribe from the protocol's notifications (idempotent).
+
+        Called by the front-ends when a run completes so a finished
+        kernel never reacts to a *later* kernel's commits and aborts on
+        the same protocol instance — with the run queue, a stale
+        subscription would re-enqueue dead sessions.
+        """
+        if self._attached:
+            self.protocol.remove_finish_listener(self._on_txn_finished)
+            self.protocol.remove_wake_listener(self._on_wake_request)
+            self._attached = False
 
     # ------------------------------------------------------------------
     # session management

@@ -40,6 +40,67 @@ class OperationKind(enum.Enum):
 Transform = Callable[[Mapping[str, Any]], Any]
 
 
+class ConstantTransform:
+    """A transform returning a fixed value (the blind-write shape).
+
+    A module-level callable class rather than a closure so that the
+    operations built by :func:`write_op` survive :mod:`pickle` — the
+    process-parallel shard runner (:mod:`repro.engine.parallel`) ships
+    transaction specs to worker processes, and lambdas cannot make that
+    trip.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __call__(self, reads: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, ConstantTransform) and self.value == other.value
+
+    def __hash__(self) -> int:
+        # keep Operation (a frozen dataclass hashing all fields) hashable,
+        # as it was with identity-hashed lambda transforms
+        return hash(("constant", self.value))
+
+    def __repr__(self) -> str:
+        return f"ConstantTransform({self.value!r})"
+
+
+class AddConstantTransform:
+    """A transform adding a fixed amount to the value read for ``key``.
+
+    Picklable counterpart of the ``lambda reads: reads[key] + amount``
+    closure :func:`increment_op` used to build (see
+    :class:`ConstantTransform` for why picklability matters).
+    """
+
+    __slots__ = ("key", "amount")
+
+    def __init__(self, key: str, amount: Any = 1) -> None:
+        self.key = key
+        self.amount = amount
+
+    def __call__(self, reads: Mapping[str, Any]) -> Any:
+        return reads[self.key] + self.amount
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, AddConstantTransform)
+            and self.key == other.key
+            and self.amount == other.amount
+        )
+
+    def __hash__(self) -> int:
+        return hash(("add", self.key, self.amount))
+
+    def __repr__(self) -> str:
+        return f"AddConstantTransform({self.key!r}, {self.amount!r})"
+
+
 @dataclass(frozen=True)
 class Operation:
     """One operation of a transaction program.
@@ -86,7 +147,7 @@ def read_op(key: str) -> Operation:
 
 def write_op(key: str, value: Any) -> Operation:
     """A blind write of a constant value to ``key``."""
-    return Operation(OperationKind.WRITE, key, transform=lambda _reads, _v=value: _v)
+    return Operation(OperationKind.WRITE, key, transform=ConstantTransform(value))
 
 
 def update_op(key: str, transform: Transform) -> Operation:
@@ -96,7 +157,7 @@ def update_op(key: str, transform: Transform) -> Operation:
 
 def increment_op(key: str, amount: Any = 1) -> Operation:
     """A read-modify-write adding ``amount`` to ``key``."""
-    return update_op(key, lambda reads, _a=amount, _k=key: reads[_k] + _a)
+    return update_op(key, AddConstantTransform(key, amount))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,215 @@
+"""Process-parallel execution of independent shards.
+
+:func:`repro.engine.runtime.run_sharded_batch` already treats each shard
+of a :class:`~repro.engine.storage.ShardedDataStore` as an independent
+conflict domain with its own protocol instance — but it runs the shards
+one after another on one core.  :class:`ParallelShardRunner` executes
+the same shard batches in a :class:`concurrent.futures.
+ProcessPoolExecutor`, which is the first time the engine uses more than
+one core: with ``W`` workers and ``S >= W`` balanced shards, wall-clock
+approaches ``1/W`` of the serial sharded run (given ``W`` actual CPUs).
+
+Determinism is preserved exactly as in the serial path:
+
+* every shard derives its engine seed as ``seed + shard_index``;
+* a fault spec is replayed from scratch per shard (each worker builds a
+  fresh :class:`~repro.engine.faults.FaultPlan` from the same spec);
+* each worker rebuilds its shard store from the shard's committed
+  snapshot via the sharded store's ``shard_factory``.
+
+So ``ParallelShardRunner(workers=w).run(...)`` produces **identical
+per-shard results** to ``run_sharded_batch(...)`` for any ``w`` — the
+parity is pinned by ``tests/test_engine_parallel.py`` — and worker count
+only changes wall-clock, never outcomes.
+
+Everything submitted to a worker crosses a process boundary, so the
+protocol factory and the transaction specs must be picklable.  The
+registered protocols and the shipped workload builders are (the
+operation transforms are module-level callable classes, see
+:class:`repro.engine.operations.AddConstantTransform`); hand-written
+specs using local lambdas are not, and the runner raises a
+``ValueError`` naming the offender instead of the bare pickle error.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.faults import FaultPlan, FaultSpec
+from repro.engine.metrics import Metrics
+from repro.engine.operations import TransactionSpec
+from repro.engine.runtime import (
+    ExecutionResult,
+    ShardedExecutionResult,
+    run_batch,
+)
+from repro.engine.storage import ShardedDataStore
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one worker needs to execute one shard, picklable."""
+
+    shard_index: int
+    store_factory: Callable[[Dict[str, Any]], Any]
+    initial: Dict[str, Any]
+    specs: Tuple[TransactionSpec, ...]
+    protocol_factory: Callable[[Any], Any]
+    interleaving: str
+    seed: Optional[int]
+    max_attempts: int
+    max_concurrent: Optional[int]
+    wait_policy: str
+    scheduler: str
+    fault_spec: Optional[FaultSpec]
+
+
+def _run_shard_task(task: _ShardTask) -> Tuple[int, ExecutionResult]:
+    """Worker entry point: rebuild the shard store and run its batch."""
+    store = task.store_factory(task.initial)
+    result = run_batch(
+        task.protocol_factory,
+        store,
+        list(task.specs),
+        interleaving=task.interleaving,
+        seed=task.seed,
+        max_attempts=task.max_attempts,
+        max_concurrent=task.max_concurrent,
+        wait_policy=task.wait_policy,
+        scheduler=task.scheduler,
+        fault_plan=None if task.fault_spec is None else FaultPlan(task.fault_spec),
+        metrics=Metrics(),
+    )
+    return task.shard_index, result
+
+
+class ParallelShardRunner:
+    """Run a sharded batch with one worker process per shard group.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.  ``None`` (the default) uses the shard
+        count of each submitted batch capped at ``os.cpu_count()`` —
+        forking more processes than cores only adds pickling and
+        scheduling overhead.  An explicit count is honoured as given
+        (still never more processes than shards); more workers than
+        shards is harmless, fewer queues shards.
+    mp_context:
+        Optional :mod:`multiprocessing` context, e.g. to force the
+        ``fork`` or ``spawn`` start method; ``None`` uses the platform
+        default.
+
+    Unlike :func:`run_sharded_batch`, which executes protocols directly
+    on the caller's shard stores, workers rebuild their shard store from
+    the shard's committed snapshot — so the caller's
+    :class:`ShardedDataStore` is **left untouched** by a parallel run.
+    The authoritative post-run state is ``result.store_snapshot`` (the
+    same field callers must already use for factory-wrapped stores in
+    the serial path).
+    """
+
+    def __init__(self, workers: Optional[int] = None, mp_context: Any = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.mp_context = mp_context
+
+    def run(
+        self,
+        protocol_factory,
+        store: ShardedDataStore,
+        specs: Sequence[TransactionSpec],
+        interleaving: str = "round-robin",
+        seed: Optional[int] = None,
+        max_attempts: int = 50,
+        max_concurrent: Optional[int] = None,
+        wait_policy: str = "event",
+        scheduler: str = "run-queue",
+        fault_spec: Optional[FaultSpec] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> ShardedExecutionResult:
+        """Execute the batch, one protocol instance per shard, in parallel.
+
+        Mirrors :func:`repro.engine.runtime.run_sharded_batch` —
+        identical grouping, seeding and per-shard results — except that
+        faults are described by a :class:`FaultSpec` (a stateful plan
+        cannot cross process boundaries), a supplied ``metrics``
+        registry receives the *merged* per-shard metrics after the run
+        rather than being written to live, and commits land in the
+        workers' rebuilt stores, not in ``store`` — read the post-run
+        state from the returned ``store_snapshot``.
+        """
+        groups = store.group_specs(specs)
+        tasks = [
+            _ShardTask(
+                shard_index=shard_index,
+                store_factory=store.shard_factory,
+                initial=store.shard_snapshot(shard_index),
+                specs=tuple(groups[shard_index]),
+                protocol_factory=protocol_factory,
+                interleaving=interleaving,
+                seed=None if seed is None else seed + shard_index,
+                max_attempts=max_attempts,
+                max_concurrent=max_concurrent,
+                wait_policy=wait_policy,
+                scheduler=scheduler,
+                fault_spec=fault_spec,
+            )
+            for shard_index in sorted(groups)
+        ]
+
+        if self.workers is not None:
+            workers = self.workers
+        else:
+            workers = os.cpu_count() or 1
+        workers = min(workers, len(tasks))
+
+        per_shard: Dict[int, ExecutionResult] = {}
+        if workers <= 1:
+            # nothing to overlap: skip the pool (and its fork cost)
+            for task in tasks:
+                shard_index, result = _run_shard_task(task)
+                per_shard[shard_index] = result
+        else:
+            # only pay the pre-flight pickle check when payloads will
+            # actually cross a process boundary; the in-process fallback
+            # above runs closure-built specs just fine
+            self._require_picklable(tasks)
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=self.mp_context,
+            ) as pool:
+                for shard_index, result in pool.map(_run_shard_task, tasks):
+                    per_shard[shard_index] = result
+
+        if metrics is not None:
+            for result in per_shard.values():
+                if result.metrics is not None:
+                    metrics.merge(result.metrics)
+
+        return ShardedExecutionResult.merge(store, per_shard)
+
+    @staticmethod
+    def _require_picklable(tasks: List[_ShardTask]) -> None:
+        """Fail fast, with a useful message, on unpicklable payloads.
+
+        A lambda protocol factory or a closure-transform spec would
+        otherwise surface as a bare ``PicklingError`` from deep inside
+        the pool machinery, after workers have already been forked.
+        """
+        for task in tasks:
+            try:
+                pickle.dumps(task)
+            except Exception as error:
+                raise ValueError(
+                    f"shard {task.shard_index} cannot be shipped to a worker "
+                    f"process: {error}. Protocol factories and operation "
+                    "transforms must be module-level callables (use the "
+                    "registry factories and the shipped op builders, e.g. "
+                    "increment_op), not lambdas or closures."
+                ) from error

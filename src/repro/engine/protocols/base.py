@@ -229,6 +229,30 @@ class ConcurrencyControl(abc.ABC):
         """Subscribe to explicit wake requests for specific transactions."""
         self._wake_listeners.append(listener)
 
+    def remove_finish_listener(self, listener: Callable[[int, str], None]) -> None:
+        """Unsubscribe a finish listener (idempotent).
+
+        The run-queue scheduler made the wake hooks the *only* path by
+        which blocked work re-enters the executor, which also made stale
+        subscriptions dangerous: a kernel that has finished its run but
+        stays subscribed would keep reacting to a later kernel's
+        commits/aborts on the same protocol instance (popping its wait
+        index, re-enqueuing dead sessions).  Front-ends therefore detach
+        their kernel when a run completes (see
+        :meth:`repro.engine.kernel.EngineKernel.detach`).
+        """
+        try:
+            self._finish_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def remove_wake_listener(self, listener: Callable[[int], None]) -> None:
+        """Unsubscribe a wake listener (idempotent)."""
+        try:
+            self._wake_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _notify_finished(self, txn_id: int, outcome: str) -> None:
         for listener in self._finish_listeners:
             listener(txn_id, outcome)

@@ -12,8 +12,8 @@ Session state and the per-step protocol interaction live in the shared
 :mod:`repro.engine.kernel`; the executor only decides *which* session
 advances next.  Interleaving is controlled by ``interleaving``:
 
-* ``"round-robin"`` — each live transaction advances one operation per
-  round (the densest fair interleaving);
+* ``"round-robin"`` — each runnable transaction advances one operation
+  per round (the densest fair interleaving);
 * ``"random"`` — the next transaction to advance is drawn uniformly using
   the supplied seed (matches the paper's "requests arrive in any order");
 * ``"serial"`` — each transaction runs to completion before the next
@@ -25,20 +25,48 @@ Blocked sessions are handled by ``wait_policy``:
   wait index and skipped until one of its blockers commits or aborts;
 * ``"polling"`` — the pre-kernel compatibility behaviour: a blocked
   session is retried every round regardless.
+
+The *scheduler* decides what one round costs:
+
+* ``"run-queue"`` (default) — the :class:`~repro.engine.kernel.RunQueue`
+  structure: runnable sessions live in a round-ordered queue, sessions
+  sitting out an abort backoff live in a cooldown wheel, and blocked
+  sessions leave the queue entirely, re-entering through the kernel's
+  wake notification (``wake_sink`` is the enqueue path).  One round
+  costs O(runnable): a run with 1,000 clients where 90% are parked in
+  the wait index only ever touches the runnable 10%.
+* ``"round-scan"`` — the legacy loop, kept as the differential baseline:
+  every round rescans *every* live session (finished/cooldown/waiting
+  checks included), which is O(live) per round no matter how many
+  sessions could actually move.
+
+Under ``round-robin`` and ``serial`` interleaving the two schedulers
+produce **byte-identical executions** — same protocol-interaction order,
+same commit order, same counters — because the run queue drains each
+round in ascending session order, exactly the order the scan visits
+runnable sessions (pinned by ``tests/test_engine_sched.py``).  Under
+``random`` interleaving the run queue draws uniformly from the *runnable
+set* instead of shuffling a fresh copy of every live session each round,
+so its executions are deterministic per seed but differ from the legacy
+shuffle; its digests are pinned separately.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.faults import FaultPlan
-from repro.engine.kernel import EngineKernel, Session, StepKind
+from repro.engine.kernel import EngineKernel, RunQueue, Session, StepKind
 from repro.engine.metrics import Metrics
 from repro.engine.operations import TransactionSpec
 from repro.engine.protocols.base import ConcurrencyControl, TransactionAborted
 from repro.engine.storage import DataStore, ShardedDataStore
+
+SCHEDULERS = ("run-queue", "round-scan")
 
 
 class ExecutionStuck(RuntimeError):
@@ -98,6 +126,7 @@ class TransactionExecutor:
         wait_policy: str = "event",
         metrics: Optional[Metrics] = None,
         fault_plan: Optional[FaultPlan] = None,
+        scheduler: str = "run-queue",
     ) -> None:
         if interleaving not in ("round-robin", "random", "serial"):
             raise ValueError(
@@ -105,6 +134,8 @@ class TransactionExecutor:
             )
         if wait_policy not in ("event", "polling"):
             raise ValueError("wait_policy must be 'event' or 'polling'")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"scheduler must be one of {SCHEDULERS}")
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError("max_concurrent must be at least 1")
         self.protocol = protocol
@@ -118,10 +149,21 @@ class TransactionExecutor:
         self.max_attempts = max_attempts
         self.interleaving = interleaving
         self.wait_policy = wait_policy
+        self.scheduler = scheduler
         #: multiprogramming level: how many transactions may be in flight at
         #: once (None = all submitted transactions run concurrently).
         self.max_concurrent = max_concurrent
         self.rng = random.Random(seed)
+        # per-run accounting, reset by run()
+        self._aborted_attempts = 0
+        self._restarts = 0
+        # run-queue state, built by _run_queue()
+        self._rq: Optional[RunQueue] = None
+        self._run_sessions: List[Session] = []
+        self._finished_count = 0
+        self._admission_limited = False
+        self._live_ids: List[int] = []
+        self._unadmitted: deque = deque()
 
     # ------------------------------------------------------------------
     # public API
@@ -131,9 +173,180 @@ class TransactionExecutor:
         sessions = [
             self.kernel.new_session(spec, session_id=i) for i, spec in enumerate(specs)
         ]
-        restarts = 0
-        aborted_attempts = 0
+        self._aborted_attempts = 0
+        self._restarts = 0
+        self.kernel.attach()
+        try:
+            if self.scheduler == "run-queue":
+                self.kernel.wake_sink = self._on_runqueue_wake
+                self._run_queue(sessions)
+            else:
+                self.kernel.wake_sink = self._note_wake
+                self._run_round_scan(sessions)
+        finally:
+            # a finished kernel must never react to a later kernel's
+            # notifications on the same protocol (it would pop its wait
+            # index and enqueue dead sessions)
+            self.kernel.detach()
 
+        per_transaction = {
+            f"{s.spec.name}#{s.session_id}": {
+                "attempts": s.attempts,
+                "blocks": s.blocks,
+                "operations": s.operations_issued,
+                "committed": int(s.committed),
+            }
+            for s in sessions
+        }
+        return ExecutionResult(
+            protocol_name=self.protocol.name,
+            committed=sum(1 for s in sessions if s.committed),
+            aborted_attempts=self._aborted_attempts,
+            restarts=self._restarts,
+            gave_up=sum(1 for s in sessions if s.given_up),
+            operations_issued=sum(s.operations_issued for s in sessions),
+            blocks=sum(s.blocks for s in sessions),
+            store_snapshot=self.protocol.store.snapshot(),
+            committed_serializable=self.protocol.committed_history_serializable(),
+            per_transaction=per_transaction,
+            metrics=self.metrics,
+        )
+
+    # ------------------------------------------------------------------
+    # the run-queue scheduler: one round costs O(runnable)
+    # ------------------------------------------------------------------
+    def _run_queue(self, sessions: List[Session]) -> None:
+        rq = self._rq = RunQueue()
+        self._run_sessions = sessions
+        self._finished_count = 0
+        total = len(sessions)
+        limit = self.max_concurrent
+        if limit is None or limit >= total:
+            self._live_ids = []
+            self._unadmitted = deque()
+            self._admission_limited = False
+            for session in sessions:
+                rq.push_next(session.session_id)
+        else:
+            # admission control: the legacy scan admits the first
+            # ``max_concurrent`` *live* sessions each round, i.e. the
+            # sessions whose ids are at or below the limit-th smallest
+            # live id.  Admission is monotone (live ids only leave), so
+            # non-admitted sessions wait in creation order and are
+            # released as earlier sessions finish.
+            self._live_ids = [session.session_id for session in sessions]
+            self._admission_limited = True
+            for session in sessions[:limit]:
+                rq.push_next(session.session_id)
+            self._unadmitted = deque(
+                session.session_id for session in sessions[limit:]
+            )
+
+        random_mode = self.interleaving == "random"
+        while self._finished_count < total:
+            if not rq.advance():
+                # nothing runnable, nothing cooling, and no wake can come:
+                # every remaining session is parked on a peer that will
+                # never resolve
+                raise ExecutionStuck(
+                    f"no progress with {total - self._finished_count} live "
+                    f"transactions under {self.protocol.name}"
+                )
+            for session_id in rq.expired_cooldowns():
+                session = sessions[session_id]
+                session.cooldown = 0
+                # a session can sit out a backoff while *also* parked in
+                # the wait index (serial interleaving restarts drive on
+                # through the cooldown); the wake notification owns its
+                # re-entry then
+                if not session.finished and not session.waiting:
+                    rq.push_current(session_id)
+            progressed = False
+            self._woke_session = False
+            if random_mode:
+                bucket = rq.drain_current()
+                rng = self.rng
+                while bucket:
+                    index = rng.randrange(len(bucket))
+                    session_id = bucket[index]
+                    last = len(bucket) - 1
+                    if index != last:
+                        bucket[index] = bucket[last]
+                    del bucket[last]
+                    if self._visit_runqueue(sessions[session_id]):
+                        progressed = True
+            else:
+                while True:
+                    session_id = rq.pop()
+                    if session_id is None:
+                        break
+                    if self._visit_runqueue(sessions[session_id]):
+                        progressed = True
+            if (
+                not progressed
+                and not self._woke_session
+                and not rq.cooling
+                and self._finished_count < total
+            ):
+                raise ExecutionStuck(
+                    f"no progress with {total - self._finished_count} live "
+                    f"transactions under {self.protocol.name}"
+                )
+
+    def _visit_runqueue(self, session: Session) -> bool:
+        """Visit one queued session, then requeue it where it now belongs."""
+        progressed = self._visit(session)
+        if session.finished:
+            self._note_finished(session)
+        elif session.cooldown > 0:
+            self._rq.schedule_cooldown(session.session_id, session.cooldown)
+        elif session.waiting and self.wait_policy == "event":
+            # parked in the wait index: the wake notification is the only
+            # way back into the queue — this is the O(runnable) win
+            pass
+        else:
+            # runnable again next round: granted work, an unparked block
+            # (no live blockers named, or an injected stall), or a parked
+            # block under the polling policy (retried every round)
+            self._rq.push_next(session.session_id)
+        return progressed
+
+    def _note_finished(self, session: Session) -> None:
+        self._finished_count += 1
+        if not self._admission_limited:
+            return
+        ids = self._live_ids
+        index = bisect_left(ids, session.session_id)
+        if index < len(ids) and ids[index] == session.session_id:
+            del ids[index]
+        limit = self.max_concurrent
+        while self._unadmitted:
+            if len(ids) >= limit and self._unadmitted[0] > ids[limit - 1]:
+                break
+            # newly admitted sessions join from the next round on, like
+            # the legacy scan recomputing its admitted prefix per round
+            self._rq.push_next(self._unadmitted.popleft())
+
+    def _on_runqueue_wake(self, session: Session) -> None:
+        """Kernel wake notification: the run queue's enqueue path."""
+        self._woke_session = True
+        if session.finished or session.cooldown > 0:
+            # the cooldown wheel owns a cooling session's re-entry
+            return
+        if self.wait_policy != "event":
+            # polling sessions are already queued for their round retry
+            return
+        if self.interleaving == "random":
+            self._rq.push_next(session.session_id)
+        else:
+            # ascending drain order lets the queue tell whether the scan
+            # would still have reached this session in the current round
+            self._rq.push_wake(session.session_id)
+
+    # ------------------------------------------------------------------
+    # the legacy round-scan scheduler (differential baseline)
+    # ------------------------------------------------------------------
+    def _run_round_scan(self, sessions: List[Session]) -> None:
         live = list(sessions)
         while live:
             progressed = False
@@ -155,29 +368,7 @@ class TransactionExecutor:
                     # parked in the wait index: a commit/abort notification
                     # will clear the flag — no point re-asking the protocol.
                     continue
-                advanced, aborted = self._advance(session)
-                if aborted:
-                    aborted_attempts += 1
-                    if session.attempts >= self.max_attempts:
-                        session.given_up = True
-                    else:
-                        restarts += 1
-                        self.kernel.restart(session)
-                if advanced or aborted:
-                    progressed = True
-                if self.interleaving == "serial" and not session.finished:
-                    # keep driving the same transaction until it finishes
-                    while not session.finished:
-                        advanced, aborted = self._advance(session)
-                        if aborted:
-                            aborted_attempts += 1
-                            if session.attempts >= self.max_attempts:
-                                session.given_up = True
-                            else:
-                                restarts += 1
-                                self.kernel.restart(session)
-                        if not advanced and not aborted:
-                            break
+                if self._visit(session):
                     progressed = True
             live = [s for s in sessions if not s.finished]
             if live and not (progressed or self._woke_session):
@@ -186,32 +377,41 @@ class TransactionExecutor:
                     f"{self.protocol.name}"
                 )
 
-        per_transaction = {
-            f"{s.spec.name}#{s.session_id}": {
-                "attempts": s.attempts,
-                "blocks": s.blocks,
-                "operations": s.operations_issued,
-                "committed": int(s.committed),
-            }
-            for s in sessions
-        }
-        return ExecutionResult(
-            protocol_name=self.protocol.name,
-            committed=sum(1 for s in sessions if s.committed),
-            aborted_attempts=aborted_attempts,
-            restarts=restarts,
-            gave_up=sum(1 for s in sessions if s.given_up),
-            operations_issued=sum(s.operations_issued for s in sessions),
-            blocks=sum(s.blocks for s in sessions),
-            store_snapshot=self.protocol.store.snapshot(),
-            committed_serializable=self.protocol.committed_history_serializable(),
-            per_transaction=per_transaction,
-            metrics=self.metrics,
-        )
+    # ------------------------------------------------------------------
+    # shared per-visit logic
+    # ------------------------------------------------------------------
+    def _visit(self, session: Session) -> bool:
+        """Advance a session once (to completion under serial interleaving).
 
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
+        Returns whether the visit made progress.  Abort/restart
+        bookkeeping goes through :meth:`_retire_attempt` for the outer
+        step and the serial inner loop alike, so give-up and restart
+        accounting cannot drift between the two paths.
+        """
+        advanced, aborted = self._advance(session)
+        if aborted:
+            self._retire_attempt(session)
+        progressed = advanced or aborted
+        if self.interleaving == "serial" and not session.finished:
+            # keep driving the same transaction until it finishes
+            while not session.finished:
+                advanced, aborted = self._advance(session)
+                if aborted:
+                    self._retire_attempt(session)
+                if not advanced and not aborted:
+                    break
+            progressed = True
+        return progressed
+
+    def _retire_attempt(self, session: Session) -> None:
+        """Account one aborted attempt: give up or restart with backoff."""
+        self._aborted_attempts += 1
+        if session.attempts >= self.max_attempts:
+            session.given_up = True
+        else:
+            self._restarts += 1
+            self.kernel.restart(session)
+
     def _note_wake(self, session: Session) -> None:
         self._woke_session = True
 
@@ -248,6 +448,8 @@ def run_batch(
     max_concurrent: Optional[int] = None,
     wait_policy: str = "event",
     fault_plan: Optional[FaultPlan] = None,
+    metrics: Optional[Metrics] = None,
+    scheduler: str = "run-queue",
 ) -> ExecutionResult:
     """Convenience helper: build the protocol on ``store`` and run the batch."""
     protocol = protocol_factory(store)
@@ -259,6 +461,8 @@ def run_batch(
         max_concurrent=max_concurrent,
         wait_policy=wait_policy,
         fault_plan=fault_plan,
+        metrics=metrics,
+        scheduler=scheduler,
     )
     return executor.run(specs)
 
@@ -280,6 +484,10 @@ class ShardedExecutionResult:
         return sum(r.committed for r in self.per_shard.values())
 
     @property
+    def aborted_attempts(self) -> int:
+        return sum(r.aborted_attempts for r in self.per_shard.values())
+
+    @property
     def restarts(self) -> int:
         return sum(r.restarts for r in self.per_shard.values())
 
@@ -292,15 +500,71 @@ class ShardedExecutionResult:
         return sum(r.gave_up for r in self.per_shard.values())
 
     @property
+    def operations_issued(self) -> int:
+        return sum(r.operations_issued for r in self.per_shard.values())
+
+    @property
+    def abort_rate(self) -> float:
+        """Attempt-level abort rate across all shards.
+
+        Same semantics as :attr:`ExecutionResult.abort_rate`: aborted
+        attempts over finished attempts (commits + aborted attempts),
+        aggregated over the shard results.
+        """
+        attempts = self.committed + self.aborted_attempts
+        return self.aborted_attempts / attempts if attempts else 0.0
+
+    @property
     def committed_serializable(self) -> bool:
         return all(r.committed_serializable for r in self.per_shard.values())
 
     def merged_metrics(self) -> Metrics:
         merged = Metrics()
+        seen: List[int] = []
         for result in self.per_shard.values():
-            if result.metrics is not None:
-                merged.merge(result.metrics)
+            if result.metrics is None:
+                continue
+            if id(result.metrics) in seen:
+                # shards executed against one shared registry (the
+                # caller passed ``metrics=`` to run_sharded_batch):
+                # merging it once per shard would multiply every counter
+                continue
+            seen.append(id(result.metrics))
+            merged.merge(result.metrics)
         return merged
+
+    @classmethod
+    def merge(
+        cls, store: ShardedDataStore, per_shard: Dict[int, "ExecutionResult"]
+    ) -> "ShardedExecutionResult":
+        """Assemble the aggregate, overlaying shard results on the store.
+
+        Committed values are reported from the protocols' own stores: a
+        factory may wrap a shard (multi-version protocols over plain
+        shards via ``ensure_multiversion``), in which case the caller's
+        store never sees the commits — the overlay keeps untouched
+        shards' keys while preferring what actually ran.  Shared by the
+        serial and process-parallel sharded runners so their snapshot
+        semantics cannot drift.
+        """
+        merged_snapshot = store.snapshot()
+        for result in per_shard.values():
+            merged_snapshot.update(result.store_snapshot)
+        return cls(per_shard=per_shard, store_snapshot=merged_snapshot)
+
+
+def _shard_fault_plan(
+    fault_plan: Optional[FaultPlan],
+) -> Optional[FaultPlan]:
+    """A fresh per-shard plan replaying ``fault_plan``'s spec.
+
+    Shards are independent conflict domains executed in isolation, so
+    each shard replays the deterministic injection stream from the start
+    of the spec — the same definition the process-parallel runner uses
+    (a stateful plan cannot be shared across processes), which keeps
+    serial and parallel sharded runs byte-identical per shard.
+    """
+    return None if fault_plan is None else FaultPlan(fault_plan.spec)
 
 
 def run_sharded_batch(
@@ -312,6 +576,9 @@ def run_sharded_batch(
     max_attempts: int = 50,
     max_concurrent: Optional[int] = None,
     wait_policy: str = "event",
+    fault_plan: Optional[FaultPlan] = None,
+    metrics: Optional[Metrics] = None,
+    scheduler: str = "run-queue",
 ) -> ShardedExecutionResult:
     """Execute a batch with one protocol instance per shard.
 
@@ -322,17 +589,16 @@ def run_sharded_batch(
     independently.  A spec whose footprint spans shards is rejected —
     cross-shard transactions would need a commit coordinator, which the
     single-scheduler model of the paper deliberately excludes.
+
+    ``fault_plan`` and ``metrics`` reach every shard: each shard replays
+    a fresh plan built from the fault plan's spec (see
+    :func:`_shard_fault_plan` for why the plan is per-shard), and a
+    supplied metrics registry is shared by all shard executors so kernel
+    and protocol counters land in one report.  For true multi-core
+    execution of the same shard batches, see
+    :class:`repro.engine.parallel.ParallelShardRunner`.
     """
-    groups: Dict[int, List[TransactionSpec]] = {}
-    for spec in specs:
-        touched = set(spec.keys_read()) | set(spec.keys_written())
-        shards = {store.shard_of(key) for key in touched}
-        if len(shards) != 1:
-            raise ValueError(
-                f"transaction {spec.name!r} spans shards {sorted(shards)}; "
-                "sharded execution requires single-shard transactions"
-            )
-        groups.setdefault(shards.pop(), []).append(spec)
+    groups = store.group_specs(specs)
 
     per_shard: Dict[int, ExecutionResult] = {}
     for shard_index in sorted(groups):
@@ -346,15 +612,8 @@ def run_sharded_batch(
             max_attempts=max_attempts,
             max_concurrent=max_concurrent,
             wait_policy=wait_policy,
+            fault_plan=_shard_fault_plan(fault_plan),
+            metrics=metrics,
+            scheduler=scheduler,
         )
-    # report committed values from the protocols' own stores: a factory
-    # may wrap a shard (multi-version protocols over plain shards via
-    # ensure_multiversion), in which case the caller's store never sees
-    # the commits — the overlay keeps untouched shards' keys while
-    # preferring what actually ran
-    merged_snapshot = store.snapshot()
-    for result in per_shard.values():
-        merged_snapshot.update(result.store_snapshot)
-    return ShardedExecutionResult(
-        per_shard=per_shard, store_snapshot=merged_snapshot
-    )
+    return ShardedExecutionResult.merge(store, per_shard)

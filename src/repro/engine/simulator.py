@@ -28,7 +28,14 @@ Blocked requests are governed by ``SimulationConfig.wait_policy``:
 
 The per-step protocol interaction itself (begin / operation / commit /
 restart bookkeeping) lives in :mod:`repro.engine.kernel`, shared with the
-untimed executor.
+untimed executor.  The event heap is the simulator's run queue — the
+same structure the executor's ``"run-queue"`` scheduler builds out of
+rounds (:class:`~repro.engine.kernel.RunQueue`), with real-valued time:
+only runnable clients have events, abort backoff is an event in the
+future (the cooldown wheel), and blocked clients re-enter through the
+kernel's wake notification.  Events beyond the configured duration are
+never enqueued, so the heap stays proportional to the clients that can
+still act before the horizon.
 
 The report gives throughput, mean response time, the mean latency
 breakdown per committed transaction, abort counts and the *delay-free
@@ -200,6 +207,21 @@ class Simulator:
     # event plumbing
     # ------------------------------------------------------------------
     def _schedule(self, time: float, client_id: int) -> None:
+        """Enqueue a client event; the heap is the simulator's run queue.
+
+        The event heap plays exactly the role the executor's
+        :class:`~repro.engine.kernel.RunQueue` plays for rounds, with
+        real-valued time: runnable clients have an event queued, clients
+        backing off after an abort are "in the wheel" (an event at
+        ``now + abort_backoff``), and blocked clients have no event at
+        all until the kernel's wake notification schedules one.  Events
+        past the configured duration are dropped at the source — the
+        main loop could never process them, so pushing them would only
+        grow the heap (visible at hundreds of clients, where every
+        think-time draw near the end of the run lands past the horizon).
+        """
+        if time > self.config.duration:
+            return
         heapq.heappush(self._events, (time, self._seq, client_id))
         self._seq += 1
 
@@ -225,15 +247,21 @@ class Simulator:
         for client in clients:
             self._schedule(self._think(), client.session_id)
 
-        while self._events:
-            time, _, client_id = heapq.heappop(self._events)
-            if time > config.duration:
-                break
-            self.events_processed += 1
-            client = clients[client_id]
-            next_time = self._step(client, time)
-            if next_time is not None:
-                self._schedule(next_time, client_id)
+        self.kernel.attach()
+        try:
+            while self._events:
+                time, _, client_id = heapq.heappop(self._events)
+                if time > config.duration:
+                    break
+                self.events_processed += 1
+                client = clients[client_id]
+                next_time = self._step(client, time)
+                if next_time is not None:
+                    self._schedule(next_time, client_id)
+        finally:
+            # like the executor: a finished simulation's kernel must not
+            # keep reacting to a later kernel's protocol notifications
+            self.kernel.detach()
 
         return SimulationReport(
             protocol_name=self.protocol.name,

@@ -14,7 +14,7 @@ use so that aborts never leave partial updates behind.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 
 class StorageError(KeyError):
@@ -38,6 +38,12 @@ class Version:
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Version is immutable")
+
+    def __reduce__(self):
+        # the immutability guard breaks pickle's default slot restore
+        # (it calls setattr); rebuild through the constructor instead so
+        # stores can cross process boundaries (the parallel shard runner)
+        return (Version, (self.value, self.version, self.writer))
 
     def __repr__(self) -> str:
         return (
@@ -220,6 +226,43 @@ class ShardedDataStore:
     def shard(self, index: int) -> DataStore:
         """The shard's underlying :class:`DataStore`."""
         return self._shards[index]
+
+    @property
+    def shard_factory(self) -> Any:
+        """The ``initial_mapping -> store`` constructor used per shard.
+
+        Exposed so process-parallel execution can rebuild an equivalent
+        shard store inside a worker from a shard's committed snapshot.
+        """
+        return self._shard_factory
+
+    def shard_snapshot(self, index: int) -> Dict[str, Any]:
+        """The committed values currently owned by one shard."""
+        return self._shards[index].snapshot()
+
+    def group_specs(self, specs: Iterable[Any]) -> Dict[int, List[Any]]:
+        """Group transaction specs by the single shard each one touches.
+
+        Each spec's full footprint (reads and writes) must fall inside
+        one shard — shards are independent conflict domains, and a spec
+        spanning shards would need a cross-shard commit coordinator,
+        which the single-scheduler model of the paper deliberately
+        excludes.  Raises ``ValueError`` for a spanning spec.  Shared by
+        :func:`repro.engine.runtime.run_sharded_batch` and
+        :class:`repro.engine.parallel.ParallelShardRunner` so the two
+        execution paths can never drift on what "single-shard" means.
+        """
+        groups: Dict[int, List[Any]] = {}
+        for spec in specs:
+            touched = set(spec.keys_read()) | set(spec.keys_written())
+            shards = {self.shard_of(key) for key in touched}
+            if len(shards) != 1:
+                raise ValueError(
+                    f"transaction {spec.name!r} spans shards {sorted(shards)}; "
+                    "sharded execution requires single-shard transactions"
+                )
+            groups.setdefault(shards.pop(), []).append(spec)
+        return groups
 
     def shard_for(self, key: str) -> DataStore:
         return self._shards[self.shard_of(key)]

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.engine.operations import (
     Operation,
     TransactionSpec,
+    increment_op,
     read_op,
     update_op,
     write_op,
@@ -186,9 +187,7 @@ def _mixed_transaction(
         if rng.random() < config.read_fraction:
             operations.append(read_op(key))
         else:
-            operations.append(
-                update_op(key, lambda reads, _k=key: reads[_k] + 1)
-            )
+            operations.append(increment_op(key))
     return TransactionSpec(operations, name=name)
 
 
@@ -265,6 +264,56 @@ def zipfian_hotspot_generator(
     )
 
 
+def hotspot_queue_workload(
+    num_transactions: int = 1000,
+    ops_per_transaction: int = 192,
+    num_hot: int = 4,
+    num_cold: int = 192,
+    hotspot_probability: float = 0.9,
+    zipf_theta: float = 0.8,
+    seed: int = 0,
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """Single-key blind-write transactions queueing on a zipfian hot set.
+
+    The scheduler-benchmark shape: ``hotspot_probability`` of the
+    transactions pick one hot key (zipf-distributed popularity inside
+    the hot set) and the rest a uniform cold key; each transaction then
+    blind-writes its one key ``ops_per_transaction`` times.  A
+    single-key footprint means one exclusive lock per transaction,
+    taken by the first write — so under 2PL the workload is
+    **deadlock-free by construction** (no lock-order inversions, no
+    shared-to-exclusive upgrades) and its behaviour is pure queueing:
+    deep wait queues on the hot keys, long holder occupancy, zero
+    restarts.  At high client counts this is the 90%-parked regime
+    where the *scheduler's* per-round cost dominates the engine — which
+    is exactly what ``benchmarks/test_bench_sched.py`` measures.
+    """
+    if num_hot < 1 or num_cold < 1:
+        raise ValueError("num_hot and num_cold must be at least 1")
+    if ops_per_transaction < 1:
+        raise ValueError("ops_per_transaction must be at least 1")
+    if not 0.0 <= hotspot_probability <= 1.0:
+        raise ValueError("hotspot_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    hot = [f"h{i}" for i in range(num_hot)]
+    cold = [f"c{i}" for i in range(num_cold)]
+    choose_hot = _zipf_chooser(hot, zipf_theta)
+    specs: List[TransactionSpec] = []
+    for index in range(num_transactions):
+        if rng.random() < hotspot_probability:
+            key = choose_hot(rng)
+        else:
+            key = cold[rng.randrange(num_cold)]
+        specs.append(
+            TransactionSpec(
+                [write_op(key, j) for j in range(ops_per_transaction)],
+                name=f"queue-write-{index}",
+            )
+        )
+    initial = {key: 0 for key in hot + cold}
+    return initial, specs
+
+
 def read_mostly_generator(
     config: Optional[WorkloadConfig] = None,
     read_fraction: float = 0.9,
@@ -289,7 +338,7 @@ def read_mostly_generator(
                 operations.append(read_op(keys[rng.randrange(len(keys))]))
             else:
                 key = choose_zipf(rng)
-                operations.append(update_op(key, lambda reads, _k=key: reads[_k] + 1))
+                operations.append(increment_op(key))
         return TransactionSpec(operations, name="read-mostly")
 
     return config.initial_data(), generate
@@ -327,7 +376,7 @@ def partitioned_generator(
             if rng.random() < config.read_fraction:
                 operations.append(read_op(key))
             else:
-                operations.append(update_op(key, lambda reads, _k=key: reads[_k] + 1))
+                operations.append(increment_op(key))
         return TransactionSpec(operations, name="partitioned")
 
     return initial, generate
@@ -376,8 +425,7 @@ def long_scan_generator(
             return TransactionSpec(operations, name="long-scan", read_only=True)
         operations = []
         for _ in range(config.operations_per_transaction):
-            key = choose_zipf(rng)
-            operations.append(update_op(key, lambda reads, _k=key: reads[_k] + 1))
+            operations.append(increment_op(choose_zipf(rng)))
         return TransactionSpec(operations, name="scan-update")
 
     return config.initial_data(), generate
@@ -420,8 +468,7 @@ def analytical_generator(
             return TransactionSpec(operations, name="analytic-scan", read_only=True)
         operations = []
         for _ in range(config.operations_per_transaction):
-            key = choose(rng)
-            operations.append(update_op(key, lambda reads, _k=key: reads[_k] + 1))
+            operations.append(increment_op(choose(rng)))
         return TransactionSpec(operations, name="analytic-update")
 
     return config.initial_data(), generate

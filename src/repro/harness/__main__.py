@@ -85,6 +85,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="pin fault injection (default 'auto': seed-chosen)",
     )
     parser.add_argument(
+        "--scheduler", default="run-queue", choices=["run-queue", "round-scan"],
+        help="executor scheduling loop: the run queue (default) or the "
+             "legacy round scan (differential baseline)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="smaller scenarios and simulations (implied by REPRO_BENCH_QUICK=1)",
     )
@@ -129,6 +134,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         quick=quick,
         family=args.family,
         with_faults=with_faults,
+        scheduler=args.scheduler,
     )
 
     failed = [report for report in reports if not report.ok]

@@ -166,8 +166,17 @@ def run_cell(
     mode: str,
     wait_policy: str,
     quick: bool = False,
+    scheduler: str = "run-queue",
+    interleaving: str = "random",
 ) -> CellOutcome:
-    """Execute one matrix cell and judge it with the oracle stack."""
+    """Execute one matrix cell and judge it with the oracle stack.
+
+    ``scheduler`` selects the executor's scheduling loop (``"run-queue"``
+    default, ``"round-scan"`` the legacy baseline) and ``interleaving``
+    its step order; both only apply to executor-mode cells.  The
+    scheduler-equivalence suite runs the same cell under both schedulers
+    with round-robin interleaving and demands byte-identical digests.
+    """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
     store = DataStore(dict(scenario.initial_data))
@@ -179,10 +188,11 @@ def run_cell(
         executor = TransactionExecutor(
             protocol,
             max_attempts=300,
-            interleaving="random",
+            interleaving=interleaving,
             seed=scenario.seed,
             wait_policy=wait_policy,
             fault_plan=fault_plan,
+            scheduler=scheduler,
         )
         recorder.attach(executor.kernel)
         executor.run(list(scenario.specs))
@@ -228,6 +238,7 @@ def shrink_failing_scenario(
     wait_policy: str,
     quick: bool = False,
     budget: int = 160,
+    scheduler: str = "run-queue",
 ) -> Tuple[Scenario, CellOutcome]:
     """Greedily drop transactions while the cell keeps failing.
 
@@ -236,7 +247,7 @@ def shrink_failing_scenario(
     Deterministic — every candidate runs under the same seeds.
     """
     current = scenario
-    outcome = run_cell(entry, current, mode, wait_policy, quick)
+    outcome = run_cell(entry, current, mode, wait_policy, quick, scheduler)
     runs = 1
     improved = True
     while improved and runs < budget and len(current.specs) > 1:
@@ -245,7 +256,9 @@ def shrink_failing_scenario(
             candidate = current.with_specs(
                 current.specs[:index] + current.specs[index + 1:]
             )
-            candidate_outcome = run_cell(entry, candidate, mode, wait_policy, quick)
+            candidate_outcome = run_cell(
+                entry, candidate, mode, wait_policy, quick, scheduler
+            )
             runs += 1
             if not candidate_outcome.ok:
                 current, outcome = candidate, candidate_outcome
@@ -287,6 +300,7 @@ def run_seed(
     with_faults: Optional[bool] = None,
     entries: Optional[Mapping[str, ProtocolEntry]] = None,
     shrink: bool = True,
+    scheduler: str = "run-queue",
 ) -> ConformanceReport:
     """Run the full differential matrix for one seed."""
     scenario = build_scenario(seed, quick=quick, family=family, with_faults=with_faults)
@@ -295,11 +309,14 @@ def run_seed(
     for entry in selected:
         for mode in modes:
             for wait_policy in wait_policies:
-                outcome = run_cell(entry, scenario, mode, wait_policy, quick)
+                outcome = run_cell(
+                    entry, scenario, mode, wait_policy, quick, scheduler
+                )
                 report.outcomes.append(outcome)
                 if not outcome.ok and report.counterexample is None and shrink:
                     shrunk, shrunk_outcome = shrink_failing_scenario(
-                        entry, scenario, mode, wait_policy, quick
+                        entry, scenario, mode, wait_policy, quick,
+                        scheduler=scheduler,
                     )
                     report.counterexample = Counterexample(
                         seed=seed,
@@ -314,7 +331,9 @@ def run_seed(
     # byte-identical replay: re-run the first cell, compare digests
     if report.outcomes and selected:
         first = report.outcomes[0]
-        rerun = run_cell(selected[0], scenario, first.mode, first.wait_policy, quick)
+        rerun = run_cell(
+            selected[0], scenario, first.mode, first.wait_policy, quick, scheduler
+        )
         report.replay_ok = rerun.digest == first.digest
     return report
 
@@ -328,6 +347,7 @@ def run_seeds(
     family: Optional[str] = None,
     with_faults: Optional[bool] = None,
     entries: Optional[Mapping[str, ProtocolEntry]] = None,
+    scheduler: str = "run-queue",
 ) -> List[ConformanceReport]:
     """The soak loop: one differential matrix per seed."""
     return [
@@ -340,6 +360,7 @@ def run_seeds(
             family=family,
             with_faults=with_faults,
             entries=entries,
+            scheduler=scheduler,
         )
         for seed in seeds
     ]

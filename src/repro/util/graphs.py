@@ -273,9 +273,56 @@ class WaitForGraph(DiGraph):
         for holder in list(self.successors(waiter)):
             self.remove_edge(waiter, holder)
 
-    def deadlocked_transactions(self) -> List[Node]:
-        """Transactions involved in some deadlock cycle (empty list if none)."""
-        cycle = self.find_cycle()
+    def cycle_through(self, start: Node) -> Optional[List[Node]]:
+        """A directed cycle through ``start``, or ``None``.
+
+        Deadlock detection calls this once per new wait edge: any cycle
+        a ``waiter -> holder`` edge closes necessarily passes through the
+        waiter, so a reachability search from the waiter back to itself
+        is complete for the just-added edges — and costs O(reachable
+        subgraph) instead of the whole-graph scan of :meth:`find_cycle`,
+        which dominated engine profiles at 1,000 clients (every blocked
+        request re-walked every parked transaction).
+
+        Returns the same ``[v_0, ..., v_k]`` shape as :meth:`find_cycle`
+        (``v_0 == v_k == start``).
+        """
+        if start not in self._succ:
+            return None
+        succ = self._succ
+        stack: List[Tuple[Node, Iterator[Node]]] = [(start, iter(succ[start]))]
+        path: List[Node] = [start]
+        visited = {start}
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child == start:
+                    path.append(start)
+                    return path
+                if child not in visited:
+                    visited.add(child)
+                    stack.append((child, iter(succ.get(child, ()))))
+                    path.append(child)
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                path.pop()
+        return None
+
+    def deadlocked_transactions(self, through: Optional[Node] = None) -> List[Node]:
+        """Transactions involved in some deadlock cycle (empty list if none).
+
+        With ``through`` set, only cycles containing that transaction are
+        considered — the right question after adding its wait edges, and
+        far cheaper than scanning the whole graph (see
+        :meth:`cycle_through`).
+        """
+        if through is not None:
+            cycle = self.cycle_through(through)
+        else:
+            cycle = self.find_cycle()
         if cycle is None:
             return []
         return list(dict.fromkeys(cycle[:-1]))

@@ -1,0 +1,245 @@
+"""Tests for process-parallel shard execution and the sharded plumbing.
+
+Covers the ISSUE-5 satellites alongside the tentpole's second half:
+
+* :class:`ParallelShardRunner` parity — identical per-shard results to
+  the serial :func:`run_sharded_batch` at every worker count, because
+  per-shard seeds and fault plans are derived identically;
+* ``fault_plan``/``metrics`` plumbed through ``run_sharded_batch``
+  (with fault injection actually firing under sharding);
+* the new :class:`ShardedExecutionResult` aggregates
+  (``aborted_attempts``, ``operations_issued``, ``abort_rate``).
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine.faults import FaultPlan, FaultSpec
+from repro.engine.metrics import Metrics
+from repro.engine.operations import TransactionSpec, increment_op, update_op
+from repro.engine.parallel import ParallelShardRunner
+from repro.engine.protocols.registry import PROTOCOL_ENTRIES
+from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
+from repro.engine.runtime import run_sharded_batch
+from repro.engine.storage import ShardedDataStore
+from repro.engine.workloads import (
+    WorkloadConfig,
+    partition_of,
+    partitioned_workload,
+)
+
+
+def _partitioned(num_transactions=40, seed=6, num_partitions=4):
+    initial, specs = partitioned_workload(
+        num_transactions=num_transactions,
+        config=WorkloadConfig(num_keys=32, read_fraction=0.4),
+        seed=seed,
+        num_partitions=num_partitions,
+    )
+    return initial, specs
+
+
+def _store(initial, num_partitions=4):
+    return ShardedDataStore(initial, num_shards=num_partitions, shard_of=partition_of)
+
+
+class TestParallelShardRunner:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_serial_sharded_run_exactly(self, workers):
+        initial, specs = _partitioned()
+        serial = run_sharded_batch(
+            StrictTwoPhaseLocking, _store(initial), specs, seed=1
+        )
+        parallel = ParallelShardRunner(workers=workers).run(
+            StrictTwoPhaseLocking, _store(initial), specs, seed=1
+        )
+        assert set(parallel.per_shard) == set(serial.per_shard)
+        for index, shard_result in parallel.per_shard.items():
+            baseline = serial.per_shard[index]
+            assert shard_result.per_transaction == baseline.per_transaction
+            assert shard_result.blocks == baseline.blocks
+            assert shard_result.restarts == baseline.restarts
+            assert shard_result.store_snapshot == baseline.store_snapshot
+        assert parallel.store_snapshot == serial.store_snapshot
+        assert parallel.committed == serial.committed == len(specs)
+        assert parallel.committed_serializable
+
+    def test_specs_are_picklable(self):
+        """The shipped workload builders must survive the worker boundary."""
+        _, specs = _partitioned(num_transactions=5)
+        restored = pickle.loads(pickle.dumps(specs))
+        assert [spec.name for spec in restored] == [spec.name for spec in specs]
+        # transforms still compute: an increment applied to a read buffer
+        op = next(op for spec in restored for op in spec.operations if op.writes)
+        assert op.transform({op.key: 41}) == 42
+
+    def test_ops_with_picklable_transforms_stay_hashable(self):
+        """Operation is a frozen dataclass hashing all fields: the callable
+        transform classes must hash consistently with their __eq__ (the
+        lambdas they replaced hashed by identity)."""
+        from repro.engine.operations import write_op
+
+        a, b = increment_op("k", 2), increment_op("k", 2)
+        assert a == b and hash(a.transform) == hash(b.transform)
+        assert len({a, b}) == 1
+        assert len({write_op("k", 1), write_op("k", 1), write_op("k", 2)}) == 2
+
+    def test_unpicklable_payload_raises_helpfully(self):
+        # two shards so the pool (and its pre-flight pickle check) engages
+        initial, _ = _partitioned()
+        bad_specs = [
+            TransactionSpec(
+                [update_op(f"p{i}:k0", lambda reads, _k=f"p{i}:k0": reads[_k] + 1)],
+                name=f"closure{i}",
+            )
+            for i in range(2)
+        ]
+        with pytest.raises(ValueError, match="module-level callables"):
+            ParallelShardRunner(workers=2).run(
+                StrictTwoPhaseLocking, _store(initial), bad_specs, seed=0
+            )
+
+    def test_closure_specs_run_fine_in_process(self):
+        """With one worker nothing crosses a process boundary, so
+        closure-built specs execute on the serial fallback."""
+        initial, _ = _partitioned()
+        specs = [
+            TransactionSpec(
+                [update_op("p0:k0", lambda reads: reads["p0:k0"] + 1)],
+                name="closure",
+            )
+        ]
+        result = ParallelShardRunner(workers=1).run(
+            StrictTwoPhaseLocking, _store(initial), specs, seed=0
+        )
+        assert result.committed == 1
+
+    def test_cross_shard_transactions_are_rejected(self):
+        initial, _ = _partitioned()
+        cross = TransactionSpec(
+            [increment_op("p0:k0"), increment_op("p1:k0")], name="cross"
+        )
+        with pytest.raises(ValueError, match="spans shards"):
+            ParallelShardRunner(workers=2).run(
+                StrictTwoPhaseLocking, _store(initial), [cross], seed=0
+            )
+
+    def test_multiversion_protocols_run_in_workers(self):
+        """MV factories wrap plain shards via ensure_multiversion; the
+        worker rebuild path must support that too."""
+        initial, specs = _partitioned(num_transactions=24)
+        entry = PROTOCOL_ENTRIES["mvto"]
+        serial = run_sharded_batch(entry.factory, _store(initial), specs, seed=2)
+        parallel = ParallelShardRunner(workers=2).run(
+            entry.factory, _store(initial), specs, seed=2
+        )
+        assert parallel.committed == serial.committed
+        assert parallel.store_snapshot == serial.store_snapshot
+        for index, shard_result in parallel.per_shard.items():
+            assert (
+                shard_result.per_transaction
+                == serial.per_shard[index].per_transaction
+            )
+
+    def test_merged_metrics_available_from_workers(self):
+        initial, specs = _partitioned()
+        registry = Metrics()
+        result = ParallelShardRunner(workers=2).run(
+            StrictTwoPhaseLocking, _store(initial), specs, seed=1, metrics=registry
+        )
+        assert registry.count("protocol.commits") == result.committed
+        assert result.merged_metrics().count("protocol.commits") == result.committed
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelShardRunner(workers=0)
+
+
+class TestShardedFaultInjection:
+    """Satellite: fault_plan reaches every shard, serial and parallel."""
+
+    SPEC = FaultSpec(abort_probability=0.12, stall_probability=0.1, seed=9)
+
+    def test_faults_fire_under_serial_sharding(self):
+        initial, specs = _partitioned(num_transactions=40)
+        registry = Metrics()
+        result = run_sharded_batch(
+            StrictTwoPhaseLocking,
+            _store(initial),
+            specs,
+            seed=1,
+            fault_plan=FaultPlan(self.SPEC),
+            metrics=registry,
+        )
+        injected = registry.count("kernel.fault_aborts") + registry.count(
+            "kernel.fault_stalls"
+        )
+        assert injected > 0, "fault plan never fired under sharding"
+        assert result.committed + result.gave_up == len(specs)
+        assert result.committed_serializable
+        assert result.aborted_attempts >= registry.count("kernel.fault_aborts")
+
+    def test_serial_and_parallel_agree_under_faults(self):
+        initial, specs = _partitioned(num_transactions=40)
+        serial = run_sharded_batch(
+            StrictTwoPhaseLocking,
+            _store(initial),
+            specs,
+            seed=1,
+            fault_plan=FaultPlan(self.SPEC),
+        )
+        parallel = ParallelShardRunner(workers=2).run(
+            StrictTwoPhaseLocking,
+            _store(initial),
+            specs,
+            seed=1,
+            fault_spec=self.SPEC,
+        )
+        for index, shard_result in parallel.per_shard.items():
+            assert (
+                shard_result.per_transaction
+                == serial.per_shard[index].per_transaction
+            ), index
+        assert parallel.aborted_attempts == serial.aborted_attempts
+
+    def test_shared_metrics_registry_not_double_merged(self):
+        """merged_metrics() must not multiply counters when every shard
+        wrote into one caller-supplied registry."""
+        initial, specs = _partitioned(num_transactions=30)
+        registry = Metrics()
+        result = run_sharded_batch(
+            StrictTwoPhaseLocking, _store(initial), specs, seed=4, metrics=registry
+        )
+        merged = result.merged_metrics()
+        assert merged.count("protocol.commits") == result.committed
+        assert registry.count("protocol.commits") == result.committed
+
+
+class TestShardedAggregates:
+    """Satellite: the new ShardedExecutionResult aggregate properties."""
+
+    def test_aggregates_sum_over_shards(self):
+        initial, specs = _partitioned(num_transactions=40)
+        result = run_sharded_batch(
+            StrictTwoPhaseLocking, _store(initial), specs, seed=1
+        )
+        per_shard = result.per_shard.values()
+        assert result.aborted_attempts == sum(r.aborted_attempts for r in per_shard)
+        assert result.operations_issued == sum(
+            r.operations_issued for r in per_shard
+        )
+        assert result.restarts == sum(r.restarts for r in per_shard)
+        attempts = result.committed + result.aborted_attempts
+        assert result.abort_rate == pytest.approx(
+            result.aborted_attempts / attempts
+        )
+
+    def test_abort_rate_empty_batch(self):
+        initial, _ = _partitioned()
+        result = run_sharded_batch(
+            StrictTwoPhaseLocking, _store(initial), [], seed=0
+        )
+        assert result.abort_rate == 0.0
+        assert result.committed == 0
+        assert result.operations_issued == 0
