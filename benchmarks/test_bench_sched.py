@@ -44,6 +44,7 @@ from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
 from repro.engine.runtime import run_batch
 from repro.engine.storage import DataStore
 from repro.engine.workloads import hotspot_queue_workload
+from repro.obs.trace import NullTracer, TraceRecorder
 
 from _bench_env import QUICK, sched_json_path, update_bench_json
 
@@ -54,7 +55,7 @@ NUM_HOT = 4
 SCHEDULERS = ("round-scan", "run-queue")
 
 
-def _run(scheduler, initial, specs):
+def _run(scheduler, initial, specs, tracer=None):
     store = DataStore(initial)
     started = time.perf_counter()
     result = run_batch(
@@ -65,6 +66,7 @@ def _run(scheduler, initial, specs):
         seed=7,
         scheduler=scheduler,
         metrics=NullMetrics(),
+        tracer=tracer,
     )
     return result, time.perf_counter() - started
 
@@ -185,3 +187,83 @@ def test_run_queue_beats_round_scan_at_scale(benchmark):
             f"run-queue speedup {speedup:.2f}x below the 2.5x regression bar "
             f"(scan {scan_wall:.2f}s, run-queue {rq_wall:.2f}s)"
         )
+
+
+class _CountingTracer(NullTracer):
+    """A disabled tracer that complains if the engine calls it anyway."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def emit(self, *args, **kwargs):
+        self.calls += 1
+
+
+def test_disabled_tracer_costs_nothing(benchmark):
+    """ISSUE-7 guard: disabled tracing must stay within 5% of the
+    untraced baseline on the hotspot queue bench.
+
+    Two halves.  The structural half: a disabled tracer's ``emit`` is
+    *never called* — the kernel's ``_tracing`` fast-path check must skip
+    even the argument packing, which is where the real per-step cost
+    would hide.  The wall-clock half: the run with an explicit
+    ``NullTracer`` stays within 5% of the default (tracer-less) run,
+    best-of-3 against noise, plus a small absolute allowance because the
+    quick-mode walls are sub-second.
+    """
+    initial, specs = hotspot_queue_workload(
+        num_transactions=NUM_CLIENTS,
+        ops_per_transaction=OPS_PER_TXN,
+        num_hot=NUM_HOT,
+        hotspot_probability=0.9,
+        zipf_theta=0.8,
+        seed=7,
+    )
+    repeats = 3
+
+    def run_pair():
+        walls = {"default": None, "null-tracer": None}
+        counting = _CountingTracer()
+        for _ in range(repeats):
+            _, wall = _run("run-queue", initial, specs)
+            walls["default"] = wall if walls["default"] is None else min(
+                walls["default"], wall
+            )
+            _, wall = _run("run-queue", initial, specs, tracer=counting)
+            walls["null-tracer"] = wall if walls["null-tracer"] is None else min(
+                walls["null-tracer"], wall
+            )
+        return walls, counting.calls
+
+    walls, calls = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    # structural: the kernel never even packed the event arguments
+    assert calls == 0, f"disabled tracer received {calls} emissions"
+
+    overhead = walls["null-tracer"] / walls["default"] - 1.0
+    update_bench_json(
+        sched_json_path(),
+        "tracing_overhead",
+        {
+            "benchmark": "E17-tracing",
+            "quick": QUICK,
+            "num_clients": NUM_CLIENTS,
+            "ops_per_transaction": OPS_PER_TXN,
+            "wall_default_seconds": round(walls["default"], 3),
+            "wall_null_tracer_seconds": round(walls["null-tracer"], 3),
+            "null_tracer_overhead": round(overhead, 4),
+        },
+        cpu_count=os.cpu_count(),
+    )
+    print(f"\n[E17] NullTracer overhead on the hotspot bench: {overhead:+.2%}")
+    assert walls["null-tracer"] <= walls["default"] * 1.05 + 0.02, (
+        f"disabled tracing cost {overhead:+.2%} "
+        f"(default {walls['default']:.3f}s, null {walls['null-tracer']:.3f}s)"
+    )
+
+    # recording smoke: an enabled recorder actually captures the run
+    recorder = TraceRecorder()
+    result, _ = _run("run-queue", initial, specs, tracer=recorder)
+    assert result.committed == NUM_CLIENTS
+    assert len(recorder.events) > NUM_CLIENTS  # at least begin+commit each

@@ -52,6 +52,9 @@ from repro.engine.faults import (
 from repro.engine.metrics import Metrics
 from repro.engine.operations import Operation, OperationKind, TransactionSpec
 from repro.engine.protocols.base import ConcurrencyControl, Decision, SnapshotAborted
+from repro.engine.reasons import ABORT_FAULT_INJECTED
+from repro.obs import trace as obs_trace
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 class Session:
@@ -345,6 +348,12 @@ class EngineKernel:
         interaction, it may force the attempt to abort or stall the
         request.  ``None`` (the default) costs one attribute check per
         step.
+    tracer:
+        Optional structured-trace sink (see :mod:`repro.obs.trace`).
+        Defaults to the shared :data:`~repro.obs.trace.NULL_TRACER`;
+        its ``enabled`` flag is cached once so a disabled tracer costs
+        one boolean check per emission point.  The front-end owns the
+        tracer's logical clock (``tracer.now``).
     """
 
     def __init__(
@@ -352,6 +361,7 @@ class EngineKernel:
         protocol: ConcurrencyControl,
         metrics: Optional[Metrics] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.protocol = protocol
         if metrics is None:
@@ -376,6 +386,8 @@ class EngineKernel:
         #: conformance harness's history-recorder hook.
         self.commit_sink: Optional[Callable[[Session], None]] = None
         self.fault_plan = fault_plan
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._tracing = self.tracer.enabled
         self._attached = False
         self.attach()
 
@@ -424,6 +436,14 @@ class EngineKernel:
         self._unpark(session)
         session.reset_for_restart()
         self.metrics.incr("kernel.restarts")
+        if self._tracing:
+            self.tracer.emit(
+                obs_trace.RESTART,
+                session.session_id,
+                None,
+                session.attempts,
+                meta={"cooldown": session.cooldown},
+            )
 
     # ------------------------------------------------------------------
     # the one-step state machine shared by executor and simulator
@@ -449,9 +469,24 @@ class EngineKernel:
                     # write buffers and validation entirely.
                     session.fast_snapshot = snapshot
                     self.metrics.incr("kernel.readonly_fastpath")
+                    if self._tracing:
+                        self.tracer.emit(
+                            obs_trace.BEGIN,
+                            session.session_id,
+                            session.txn_id,
+                            session.attempts,
+                            meta={"fastpath": True},
+                        )
                     return StepResult(StepKind.STARTED)
             self._session_by_txn[session.txn_id] = session
             self.protocol.begin(session.txn_id)
+            if self._tracing:
+                self.tracer.emit(
+                    obs_trace.BEGIN,
+                    session.session_id,
+                    session.txn_id,
+                    session.attempts,
+                )
             return StepResult(StepKind.STARTED)
 
         if session.fast_snapshot is not None:
@@ -470,6 +505,14 @@ class EngineKernel:
                     probes = self.protocol.take_validation_probes()
                     if prepared.granted:
                         session.validating = True
+                        if self._tracing:
+                            self.tracer.emit(
+                                obs_trace.VALIDATE,
+                                session.session_id,
+                                txn_id,
+                                session.attempts,
+                                meta={"stage": "parallel", "probes": probes},
+                            )
                         return StepResult(
                             StepKind.VALIDATING,
                             prepared,
@@ -479,6 +522,8 @@ class EngineKernel:
                         )
                     # validation-stage failure: the attempt aborts here
                     self._abort(session)
+                    if self._tracing:
+                        self._trace_abort(session, txn_id, prepared, commit=True)
                     return StepResult(
                         StepKind.ABORTED,
                         prepared,
@@ -494,6 +539,8 @@ class EngineKernel:
                 # commit stage, not re-enter prepare and validate twice
                 session.blocks += 1
                 parked = self._park(session, decision)
+                if self._tracing:
+                    self._trace_block(session, txn_id, decision, parked, commit=True)
                 return StepResult(
                     StepKind.BLOCKED,
                     decision,
@@ -508,6 +555,14 @@ class EngineKernel:
                 self._session_by_txn.pop(txn_id, None)
                 if self.commit_sink is not None:
                     self.commit_sink(session)
+                if self._tracing:
+                    self.tracer.emit(
+                        obs_trace.COMMIT,
+                        session.session_id,
+                        txn_id,
+                        session.attempts,
+                        meta={"probes": probes} if probes else None,
+                    )
                 return StepResult(
                     StepKind.COMMITTED,
                     decision,
@@ -516,6 +571,8 @@ class EngineKernel:
                     validation_offloaded=offloaded,
                 )
             self._abort(session)
+            if self._tracing:
+                self._trace_abort(session, txn_id, decision, commit=True)
             return StepResult(
                 StepKind.ABORTED,
                 decision,
@@ -529,12 +586,31 @@ class EngineKernel:
         session.operations_issued += 1
         if decision.granted:
             session.op_index += 1
+            if self._tracing:
+                self.tracer.emit(
+                    obs_trace.READ
+                    if operation.kind is OperationKind.READ
+                    else obs_trace.WRITE,
+                    session.session_id,
+                    txn_id,
+                    session.attempts,
+                    key=operation.key,
+                    meta={"update": True}
+                    if operation.kind is OperationKind.UPDATE
+                    else None,
+                )
             return StepResult(StepKind.GRANTED, decision)
         if decision.blocked:
             session.blocks += 1
             parked = self._park(session, decision)
+            if self._tracing:
+                self._trace_block(
+                    session, txn_id, decision, parked, key=operation.key
+                )
             return StepResult(StepKind.BLOCKED, decision, parked=parked)
         self._abort(session)
+        if self._tracing:
+            self._trace_abort(session, txn_id, decision, key=operation.key)
         return StepResult(StepKind.ABORTED, decision)
 
     def _step_readonly(self, session: Session) -> StepResult:
@@ -558,6 +634,14 @@ class EngineKernel:
             self.metrics.incr("kernel.readonly_commits")
             if self.commit_sink is not None:
                 self.commit_sink(session)
+            if self._tracing:
+                self.tracer.emit(
+                    obs_trace.COMMIT,
+                    session.session_id,
+                    session.txn_id,
+                    session.attempts,
+                    meta={"fastpath": True},
+                )
             return StepResult(StepKind.COMMITTED, Decision.grant(), was_commit=True)
         operation = spec.operations[session.op_index]
         try:
@@ -568,10 +652,26 @@ class EngineKernel:
             self.protocol.abort_fast_reader(session.txn_id, session.fast_snapshot)
             session.fast_snapshot = None
             self.metrics.incr("kernel.readonly_aborts")
-            return StepResult(StepKind.ABORTED, Decision.abort(str(reason)))
+            decision = Decision.abort(
+                str(reason), code=reason.code, conflict=reason.conflict_txns
+            )
+            if self._tracing:
+                self._trace_abort(
+                    session, session.txn_id, decision, key=operation.key
+                )
+            return StepResult(StepKind.ABORTED, decision)
         session.reads[operation.key] = value
         session.op_index += 1
         session.operations_issued += 1
+        if self._tracing:
+            self.tracer.emit(
+                obs_trace.READ,
+                session.session_id,
+                session.txn_id,
+                session.attempts,
+                key=operation.key,
+                meta={"fastpath": True},
+            )
         return StepResult(StepKind.GRANTED, Decision.grant(value))
 
     def _issue(self, txn_id: int, operation: Operation, session: Session) -> Decision:
@@ -616,17 +716,35 @@ class EngineKernel:
         if action == ABORT_ACTION:
             self.metrics.incr("kernel.fault_aborts")
             self._abort(session)
+            decision = Decision.abort(
+                "fault: injected client abort", code=ABORT_FAULT_INJECTED, key=key
+            )
+            if self._tracing:
+                self._trace_abort(
+                    session, session.txn_id, decision, key=key, commit=was_commit
+                )
             return StepResult(
                 StepKind.ABORTED,
-                Decision.abort("fault: injected client abort"),
+                decision,
                 was_commit=was_commit,
                 fault=action,
             )
         self.metrics.incr("kernel.fault_stalls")
         session.blocks += 1
+        decision = Decision.block(reason="fault: injected stall")
+        if self._tracing:
+            self.tracer.emit(
+                obs_trace.BLOCK,
+                session.session_id,
+                session.txn_id,
+                session.attempts,
+                key=key,
+                detail=decision.reason,
+                meta={"fault": True, "commit": was_commit},
+            )
         return StepResult(
             StepKind.BLOCKED,
-            Decision.block(reason="fault: injected stall"),
+            decision,
             was_commit=was_commit,
             parked=False,
             fault=action,
@@ -636,6 +754,52 @@ class EngineKernel:
         txn_id = session.txn_id
         self.protocol.abort(txn_id)
         self._session_by_txn.pop(txn_id, None)
+
+    # ------------------------------------------------------------------
+    # trace emission helpers (called only when tracing is enabled)
+    # ------------------------------------------------------------------
+    def _trace_block(
+        self,
+        session: Session,
+        txn_id: int,
+        decision: Decision,
+        parked: bool,
+        key: Optional[str] = None,
+        commit: bool = False,
+    ) -> None:
+        meta: Dict[str, Any] = {"parked": parked}
+        if commit:
+            meta["commit"] = True
+        self.tracer.emit(
+            obs_trace.BLOCK,
+            session.session_id,
+            txn_id,
+            session.attempts,
+            key=key,
+            blockers=tuple(sorted(decision.blocked_on)),
+            detail=decision.reason,
+            meta=meta,
+        )
+
+    def _trace_abort(
+        self,
+        session: Session,
+        txn_id: Optional[int],
+        decision: Decision,
+        key: Optional[str] = None,
+        commit: bool = False,
+    ) -> None:
+        self.tracer.emit(
+            obs_trace.ABORT,
+            session.session_id,
+            txn_id,
+            session.attempts,
+            key=decision.conflict_key if decision.conflict_key is not None else key,
+            blockers=decision.conflict_txns,
+            code=decision.code,
+            detail=decision.reason,
+            meta={"commit": True} if commit else None,
+        )
 
     # ------------------------------------------------------------------
     # the wait index
@@ -680,6 +844,13 @@ class EngineKernel:
     def _wake(self, session: Session) -> None:
         self._unpark(session)
         self.metrics.incr("kernel.wakeups")
+        if self._tracing:
+            self.tracer.emit(
+                obs_trace.WAKE,
+                session.session_id,
+                session.txn_id,
+                session.attempts,
+            )
         if self.wake_sink is not None:
             self.wake_sink(session)
 

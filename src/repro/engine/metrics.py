@@ -109,6 +109,30 @@ class Histogram:
                 return self.max if self.max is not None else self.bounds[-1]
         return self.max if self.max is not None else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dump of the full histogram state (buckets included)."""
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+            "sum_squares": self._sum_squares,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output, losslessly."""
+        histogram = cls(bounds=data["bounds"])
+        histogram.buckets = list(data["buckets"])
+        histogram.count = data["count"]
+        histogram.total = data["total"]
+        histogram._sum_squares = data["sum_squares"]
+        histogram.min = data["min"]
+        histogram.max = data["max"]
+        return histogram
+
     def __repr__(self) -> str:
         return (
             f"Histogram(count={self.count}, mean={self.mean:.3f}, "
@@ -195,6 +219,32 @@ class Metrics:
                     continue
                 mine.min = bound if mine.min is None else min(mine.min, bound)
                 mine.max = bound if mine.max is None else max(mine.max, bound)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dump of the whole registry.
+
+        Unlike :meth:`snapshot` (flat summaries), this is a *lossless*
+        serialization: histogram buckets, streaming moments and extrema
+        all survive, so :meth:`from_dict` rebuilds a registry whose
+        ``merge``/``quantile``/``report`` behaviour is identical — the
+        contract pinned by ``tests/test_engine_metrics.py``.
+        """
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Metrics":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        metrics = cls()
+        for name, value in data.get("counters", {}).items():
+            metrics.incr(name, value)
+        for name, dumped in data.get("histograms", {}).items():
+            metrics.histograms[name] = Histogram.from_dict(dumped)
+        return metrics
 
     def report(self, prefix: str = "") -> str:
         """A human-readable dump, one metric per line, filtered by prefix."""

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -48,6 +49,7 @@ from repro.engine.runtime import (
     run_batch,
 )
 from repro.engine.storage import ShardedDataStore
+from repro.obs.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -132,6 +134,7 @@ class ParallelShardRunner:
         scheduler: str = "run-queue",
         fault_spec: Optional[FaultSpec] = None,
         metrics: Optional[Metrics] = None,
+        tracer: Optional[Tracer] = None,
     ) -> ShardedExecutionResult:
         """Execute the batch, one protocol instance per shard, in parallel.
 
@@ -143,8 +146,19 @@ class ParallelShardRunner:
         rather than being written to live, and commits land in the
         workers' rebuilt stores, not in ``store`` — read the post-run
         state from the returned ``store_snapshot``.
+
+        A ``tracer`` records **wall-clock spans** around the
+        shard-dispatch path — task build, the per-shard pickle (the IPC
+        serialization tax, with payload bytes in the span meta), and
+        the pool submit/collect — so "workers=2 is slower than
+        workers=1" becomes a measured number instead of a guess.
+        Workers cannot emit engine events across the process boundary,
+        so shard execution itself is untraced here; spans live outside
+        the deterministic event stream (see :mod:`repro.obs.trace`).
         """
+        tracing = tracer is not None and tracer.enabled
         groups = store.group_specs(specs)
+        build_started = time.perf_counter() if tracing else 0.0
         tasks = [
             _ShardTask(
                 shard_index=shard_index,
@@ -162,6 +176,13 @@ class ParallelShardRunner:
             )
             for shard_index in sorted(groups)
         ]
+        if tracing:
+            tracer.span(
+                "shard.build_tasks",
+                build_started,
+                time.perf_counter() - build_started,
+                meta={"shards": len(tasks)},
+            )
 
         if self.workers is not None:
             workers = self.workers
@@ -179,13 +200,37 @@ class ParallelShardRunner:
             # only pay the pre-flight pickle check when payloads will
             # actually cross a process boundary; the in-process fallback
             # above runs closure-built specs just fine
-            self._require_picklable(tasks)
+            if tracing:
+                for task in tasks:
+                    pickle_started = time.perf_counter()
+                    payload = self._require_picklable([task])
+                    tracer.span(
+                        "shard.pickle",
+                        pickle_started,
+                        time.perf_counter() - pickle_started,
+                        meta={"shard": task.shard_index, "bytes": payload},
+                    )
+            else:
+                self._require_picklable(tasks)
+            pool_started = time.perf_counter() if tracing else 0.0
             with ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=self.mp_context,
             ) as pool:
+                submitted = time.perf_counter() if tracing else 0.0
+                if tracing:
+                    tracer.span(
+                        "shard.pool_start", pool_started, submitted - pool_started
+                    )
                 for shard_index, result in pool.map(_run_shard_task, tasks):
                     per_shard[shard_index] = result
+                    if tracing:
+                        tracer.span(
+                            "shard.collect",
+                            submitted,
+                            time.perf_counter() - submitted,
+                            meta={"shard": shard_index},
+                        )
 
         if metrics is not None:
             for result in per_shard.values():
@@ -195,16 +240,19 @@ class ParallelShardRunner:
         return ShardedExecutionResult.merge(store, per_shard)
 
     @staticmethod
-    def _require_picklable(tasks: List[_ShardTask]) -> None:
+    def _require_picklable(tasks: List[_ShardTask]) -> int:
         """Fail fast, with a useful message, on unpicklable payloads.
 
         A lambda protocol factory or a closure-transform spec would
         otherwise surface as a bare ``PicklingError`` from deep inside
         the pool machinery, after workers have already been forked.
+        Returns the total pickled payload size so the traced path can
+        report the serialization tax in bytes.
         """
+        total = 0
         for task in tasks:
             try:
-                pickle.dumps(task)
+                total += len(pickle.dumps(task))
             except Exception as error:
                 raise ValueError(
                     f"shard {task.shard_index} cannot be shipped to a worker "
@@ -213,3 +261,4 @@ class ParallelShardRunner:
                     "registry factories and the shipped op builders, e.g. "
                     "increment_op), not lambdas or closures."
                 ) from error
+        return total

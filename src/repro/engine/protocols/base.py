@@ -61,7 +61,22 @@ class SnapshotAborted(RuntimeError):
     ``SnapshotIsolation.snapshot_read``).  The kernel catches this,
     releases the reader's lease, and reports the attempt as ABORTED so
     the caller restarts it on a fresh snapshot.
+
+    ``code`` carries the abort-taxonomy reason code
+    (:mod:`repro.engine.reasons`) and ``conflict_txns`` the committed
+    pivot(s) the reader raced, so the kernel can rebuild a fully
+    attributed abort :class:`Decision` from the exception.
     """
+
+    def __init__(
+        self,
+        message: str = "",
+        code: Optional[str] = None,
+        conflict_txns: Tuple[int, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.conflict_txns = conflict_txns
 
 
 class DecisionKind(enum.Enum):
@@ -84,9 +99,29 @@ class Decision:
     ``skip_effect`` is GRANT-only: the operation is accepted but has no
     effect (e.g. a write made obsolete by the Thomas write rule); the
     base class then skips buffering the write.
+
+    ABORT decisions additionally carry machine-readable attribution for
+    the observability layer: ``code`` is the cross-protocol taxonomy
+    reason code (:mod:`repro.engine.reasons`), ``conflict_key`` names
+    the contended key, and ``conflict_txns`` the transaction(s) whose
+    conflicting work caused the abort (the committed writer that
+    invalidated an OCC read set, the first committer that won under SI,
+    the deadlock peers under 2PL).  The free-text ``reason`` stays the
+    human-oriented channel; equality and hashing deliberately ignore
+    the attribution fields so decisions from attributed and legacy
+    emitters still compare by outcome.
     """
 
-    __slots__ = ("kind", "value", "blocked_on", "reason", "skip_effect")
+    __slots__ = (
+        "kind",
+        "value",
+        "blocked_on",
+        "reason",
+        "skip_effect",
+        "code",
+        "conflict_key",
+        "conflict_txns",
+    )
 
     def __init__(
         self,
@@ -95,21 +130,33 @@ class Decision:
         blocked_on: Tuple[int, ...] = (),
         reason: str = "",
         skip_effect: bool = False,
+        code: Optional[str] = None,
+        conflict_key: Optional[str] = None,
+        conflict_txns: Tuple[int, ...] = (),
     ) -> None:
         object.__setattr__(self, "kind", kind)
         object.__setattr__(self, "value", value)
         object.__setattr__(self, "blocked_on", blocked_on)
         object.__setattr__(self, "reason", reason)
         object.__setattr__(self, "skip_effect", skip_effect)
+        object.__setattr__(self, "code", code)
+        object.__setattr__(self, "conflict_key", conflict_key)
+        object.__setattr__(self, "conflict_txns", conflict_txns)
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Decision is immutable")
 
     def __repr__(self) -> str:
+        attribution = ""
+        if self.code is not None:
+            attribution = (
+                f", code={self.code!r}, conflict_key={self.conflict_key!r}, "
+                f"conflict_txns={self.conflict_txns!r}"
+            )
         return (
             f"Decision(kind={self.kind!r}, value={self.value!r}, "
             f"blocked_on={self.blocked_on!r}, reason={self.reason!r}, "
-            f"skip_effect={self.skip_effect!r})"
+            f"skip_effect={self.skip_effect!r}{attribution})"
         )
 
     def __eq__(self, other: Any) -> bool:
@@ -149,8 +196,19 @@ class Decision:
         return Decision(DecisionKind.BLOCK, blocked_on=tuple(blocked_on), reason=reason)
 
     @staticmethod
-    def abort(reason: str = "") -> "Decision":
-        return Decision(DecisionKind.ABORT, reason=reason)
+    def abort(
+        reason: str = "",
+        code: Optional[str] = None,
+        key: Optional[str] = None,
+        conflict: Sequence[int] = (),
+    ) -> "Decision":
+        return Decision(
+            DecisionKind.ABORT,
+            reason=reason,
+            code=code,
+            conflict_key=key,
+            conflict_txns=tuple(conflict),
+        )
 
     @staticmethod
     def grant_without_effect(reason: str = "") -> "Decision":

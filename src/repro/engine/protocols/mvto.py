@@ -38,6 +38,7 @@ from typing import Any, Dict, Optional
 from repro.engine.metrics import Metrics
 from repro.engine.mvstore import VersionedRead
 from repro.engine.protocols.base import Decision
+from repro.engine.reasons import ABORT_MVTO_READ_INVALIDATION
 from repro.engine.protocols.multiversion import MultiVersionConcurrencyControl
 from repro.engine.storage import StorageError
 
@@ -111,7 +112,9 @@ class MultiVersionTimestampOrdering(MultiVersionConcurrencyControl):
             self.metrics.incr("mvto.write_validation_failures")
             return Decision.abort(
                 f"mvto: version of {key!r} visible at ts {self._txn_ts[txn_id]} "
-                f"was already read at ts {rts}"
+                f"was already read at ts {rts}",
+                code=ABORT_MVTO_READ_INVALIDATION,
+                key=key,
             )
         return Decision.grant()
 
@@ -126,7 +129,9 @@ class MultiVersionTimestampOrdering(MultiVersionConcurrencyControl):
                 self.metrics.incr("mvto.write_validation_failures")
                 return Decision.abort(
                     f"mvto: commit validation failed on {key!r} "
-                    f"(read at ts {rts} > ts {self._txn_ts[txn_id]})"
+                    f"(read at ts {rts} > ts {self._txn_ts[txn_id]})",
+                    code=ABORT_MVTO_READ_INVALIDATION,
+                    key=key,
                 )
         return Decision.grant()
 

@@ -44,6 +44,11 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.engine.metrics import Metrics
 from repro.engine.protocols.base import ConcurrencyControl, Decision
+from repro.engine.reasons import (
+    ABORT_OCC_HISTORY_OVERFLOW,
+    ABORT_OCC_PIPELINE_OVERLAP,
+    ABORT_OCC_READ_INVALIDATED,
+)
 from repro.engine.storage import DataStore
 
 
@@ -100,6 +105,11 @@ class OptimisticConcurrencyControl(ConcurrencyControl):
         #: the inverted write index: key -> commit number of the key's last
         #: committed writer.  Validation probes this per read-set key.
         self._last_writer_commit: Dict[str, int] = {}
+        #: key -> txn id of that last committed writer, maintained in
+        #: lock-step with the commit-number index purely for abort
+        #: attribution (naming the conflicting writer costs one extra
+        #: dict write per committed key, never a probe on the pass path)
+        self._last_writer_txn: Dict[str, int] = {}
         #: commit numbers at or below the floor may have been evicted from
         #: the index; a transaction that started below the floor cannot
         #: distinguish "no conflicting write" from "conflict evicted" and
@@ -134,13 +144,20 @@ class OptimisticConcurrencyControl(ConcurrencyControl):
     # ------------------------------------------------------------------
     # validation
     # ------------------------------------------------------------------
-    def _fail(self, reason: str, conservative: bool = False) -> Decision:
+    def _fail(
+        self,
+        reason: str,
+        conservative: bool = False,
+        code: Optional[str] = None,
+        key: Optional[str] = None,
+        conflict: Tuple[int, ...] = (),
+    ) -> Decision:
         self.validation_failures += 1
         self.metrics.incr("occ.validation_failures")
         if conservative:
             self.conservative_aborts += 1
             self.metrics.incr("occ.conservative_aborts")
-        return Decision.abort(reason)
+        return Decision.abort(reason, code=code, key=key, conflict=conflict)
 
     def _validate_against_committed(self, txn_id: int) -> Optional[Decision]:
         """Probe the inverted index for each key the transaction read.
@@ -160,6 +177,7 @@ class OptimisticConcurrencyControl(ConcurrencyControl):
                 f"history_limit overflow: T{txn_id} started at commit "
                 f"{start}, before the retained index floor {self._index_floor}",
                 conservative=True,
+                code=ABORT_OCC_HISTORY_OVERFLOW,
             )
         index = self._last_writer_commit
         read_set = self._read_sets[txn_id]
@@ -171,9 +189,14 @@ class OptimisticConcurrencyControl(ConcurrencyControl):
         for key in read_set:
             last = index.get(key)
             if last is not None and last > start:
+                writer = self._last_writer_txn.get(key)
                 return self._fail(
                     f"validation failed: {key!r} overwritten at commit "
                     f"{last} > T{txn_id}'s start number {start}"
+                    + (f" by T{writer}" if writer is not None else ""),
+                    code=ABORT_OCC_READ_INVALIDATED,
+                    key=key,
+                    conflict=(writer,) if writer is not None else (),
                 )
         return None
 
@@ -200,7 +223,10 @@ class OptimisticConcurrencyControl(ConcurrencyControl):
             if overlap:
                 return self._fail(
                     f"parallel validation failed against concurrently "
-                    f"validating T{other.txn_id} on {sorted(overlap)}"
+                    f"validating T{other.txn_id} on {sorted(overlap)}",
+                    code=ABORT_OCC_PIPELINE_OVERLAP,
+                    key=min(overlap),
+                    conflict=(other.txn_id,),
                 )
         return None
 
@@ -265,8 +291,10 @@ class OptimisticConcurrencyControl(ConcurrencyControl):
         number = self._commit_number
         write_set = frozenset(self.write_buffers.get(txn_id, ()))
         index = self._last_writer_commit
+        writers = self._last_writer_txn
         for key in write_set:
             index[key] = number
+            writers[key] = txn_id
         self._committed_footprints.append(
             CommittedFootprint(txn_id, write_set, number)
         )
@@ -313,6 +341,7 @@ class OptimisticConcurrencyControl(ConcurrencyControl):
         index = self._last_writer_commit
         for key in [key for key, number in index.items() if number <= floor]:
             del index[key]
+            self._last_writer_txn.pop(key, None)
         self._index_floor = floor
 
     def _maybe_trim_footprints(self) -> None:

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.engine.metrics import Metrics
 from repro.engine.protocols.base import ConcurrencyControl, Decision
+from repro.engine.reasons import ABORT_SG_CYCLE, ABORT_WAIT_DEADLOCK
 from repro.engine.storage import DataStore
 from repro.util.graphs import DiGraph, WaitForGraph
 
@@ -90,7 +91,12 @@ class SerializationGraphTesting(ConcurrencyControl):
             cycle = self._wait_for.deadlocked_transactions()
             if cycle and txn_id in cycle:
                 self._wait_for.remove_transaction(txn_id)
-                return Decision.abort(f"deadlock waiting for pending write on {key!r}")
+                return Decision.abort(
+                    f"deadlock waiting for pending write on {key!r}",
+                    code=ABORT_WAIT_DEADLOCK,
+                    key=key,
+                    conflict=pending,
+                )
             return Decision.block(
                 blocked_on=tuple(pending), reason=f"pending write on {key!r}"
             )
@@ -101,7 +107,10 @@ class SerializationGraphTesting(ConcurrencyControl):
             self.cycles_prevented += 1
             self.metrics.incr("sgt.cycles_prevented")
             return Decision.abort(
-                f"serialization-graph cycle on {key!r} ({'write' if is_write else 'read'})"
+                f"serialization-graph cycle on {key!r} ({'write' if is_write else 'read'})",
+                code=ABORT_SG_CYCLE,
+                key=key,
+                conflict=sorted({source for source, _ in edges}),
             )
         self._apply(txn_id, key, is_write, edges)
         return Decision.grant()

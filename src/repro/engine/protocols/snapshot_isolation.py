@@ -53,6 +53,11 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.engine.metrics import Metrics
 from repro.engine.mvstore import VersionedRead
 from repro.engine.protocols.base import Decision, SnapshotAborted
+from repro.engine.reasons import (
+    ABORT_SI_FIRST_COMMITTER,
+    ABORT_SSI_FASTPATH_PIVOT,
+    ABORT_SSI_PIVOT,
+)
 from repro.engine.protocols.multiversion import MultiVersionConcurrencyControl
 
 #: txn_id recorded on footprints left by kernel fast-path readers, which
@@ -181,7 +186,10 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
             self.metrics.incr("si.first_committer_aborts")
             return Decision.abort(
                 f"si: first-committer-wins on {key!r} (T{winner} committed "
-                f"after snapshot {self._snapshots[txn_id]})"
+                f"after snapshot {self._snapshots[txn_id]})",
+                code=ABORT_SI_FIRST_COMMITTER,
+                key=key,
+                conflict=(winner,),
             )
         return Decision.grant()
 
@@ -194,7 +202,10 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
                 self.metrics.incr("si.first_committer_aborts")
                 return Decision.abort(
                     f"si: first-committer-wins on {key!r} at commit "
-                    f"(T{winner} committed after snapshot {snapshot})"
+                    f"(T{winner} committed after snapshot {snapshot})",
+                    code=ABORT_SI_FIRST_COMMITTER,
+                    key=key,
+                    conflict=(winner,),
                 )
         if self.serializable:
             reads = self._read_sets[txn_id]
@@ -234,7 +245,11 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
                 self.metrics.incr("si.ssi_aborts")
                 return Decision.abort(
                     "ssi: dangerous structure (rw-antidependency pivot "
-                    "among concurrent commits)"
+                    "among concurrent commits)",
+                    code=ABORT_SSI_PIVOT,
+                    conflict=tuple(
+                        sorted({f.txn_id for f in out_edges + in_edges})
+                    ),
                 )
             # committing: back-annotate the edges onto the footprints so
             # a pivot that committed first is still caught later
@@ -296,7 +311,9 @@ class SnapshotIsolation(MultiVersionConcurrencyControl):
                 self.metrics.incr("si.fastpath_aborts")
                 raise SnapshotAborted(
                     f"ssi: fast-path read of {key!r} at snapshot "
-                    f"{snapshot_ts} races committed pivot T{pivot[1]}"
+                    f"{snapshot_ts} races committed pivot T{pivot[1]}",
+                    code=ABORT_SSI_FASTPATH_PIVOT,
+                    conflict_txns=(pivot[1],),
                 )
             # remember what rode this lease: a fast-path reader's reads
             # can be the inbound edge of a dangerous structure

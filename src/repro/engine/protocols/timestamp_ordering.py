@@ -24,6 +24,7 @@ from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.engine.metrics import Metrics
 from repro.engine.protocols.base import ConcurrencyControl, Decision
+from repro.engine.reasons import ABORT_TO_READ_TOO_LATE, ABORT_TO_WRITE_TOO_LATE
 from repro.engine.storage import DataStore
 
 
@@ -89,7 +90,9 @@ class TimestampOrdering(ConcurrencyControl):
         key_ts = self._key_ts(key)
         if ts < key_ts.write_ts:
             return Decision.abort(
-                f"read too late: ts({txn_id})={ts} < wts({key!r})={key_ts.write_ts}"
+                f"read too late: ts({txn_id})={ts} < wts({key!r})={key_ts.write_ts}",
+                code=ABORT_TO_READ_TOO_LATE,
+                key=key,
             )
         older = self._older_pending_writers(txn_id, key)
         if older:
@@ -109,7 +112,9 @@ class TimestampOrdering(ConcurrencyControl):
             )
         if ts < key_ts.read_ts:
             return Decision.abort(
-                f"write too late: ts({txn_id})={ts} < rts({key!r})={key_ts.read_ts}"
+                f"write too late: ts({txn_id})={ts} < rts({key!r})={key_ts.read_ts}",
+                code=ABORT_TO_WRITE_TOO_LATE,
+                key=key,
             )
         if ts < key_ts.write_ts:
             if self.thomas_write_rule:
@@ -118,7 +123,9 @@ class TimestampOrdering(ConcurrencyControl):
                 self.metrics.incr("to.skipped_writes")
                 return Decision.grant_without_effect("Thomas write rule")
             return Decision.abort(
-                f"write too late: ts({txn_id})={ts} < wts({key!r})={key_ts.write_ts}"
+                f"write too late: ts({txn_id})={ts} < wts({key!r})={key_ts.write_ts}",
+                code=ABORT_TO_WRITE_TOO_LATE,
+                key=key,
             )
         key_ts.write_ts = ts
         return Decision.grant()

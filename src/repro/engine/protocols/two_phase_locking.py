@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.engine.metrics import Metrics
 from repro.engine.protocols.base import ConcurrencyControl, Decision
+from repro.engine.reasons import ABORT_LOCK_DEADLOCK
 from repro.engine.storage import DataStore
 from repro.util.graphs import WaitForGraph
 
@@ -119,7 +120,9 @@ class StrictTwoPhaseLocking(ConcurrencyControl):
     def on_commit(self, txn_id: int) -> Decision:
         if txn_id in self._doomed:
             self._doomed.discard(txn_id)
-            return Decision.abort("chosen as deadlock victim")
+            return Decision.abort(
+                "chosen as deadlock victim", code=ABORT_LOCK_DEADLOCK
+            )
         return Decision.grant()
 
     def on_finished(self, txn_id: int) -> None:
@@ -134,7 +137,9 @@ class StrictTwoPhaseLocking(ConcurrencyControl):
     def _acquire(self, txn_id: int, key: str, mode: LockMode) -> Decision:
         if txn_id in self._doomed:
             self._doomed.discard(txn_id)
-            return Decision.abort("chosen as deadlock victim")
+            return Decision.abort(
+                "chosen as deadlock victim", code=ABORT_LOCK_DEADLOCK
+            )
         entry = self._locks.setdefault(key, LockEntry())
         if entry.compatible(txn_id, mode):
             entry.grant(txn_id, mode)
@@ -154,7 +159,12 @@ class StrictTwoPhaseLocking(ConcurrencyControl):
             victim = self._choose_victim(cycle, requester=txn_id)
             if victim == txn_id:
                 self._wait_for.remove_transaction(txn_id)
-                return Decision.abort(f"deadlock on {key!r}")
+                return Decision.abort(
+                    f"deadlock on {key!r}",
+                    code=ABORT_LOCK_DEADLOCK,
+                    key=key,
+                    conflict=sorted(blockers),
+                )
             self._doomed.add(victim)
             # The requester keeps waiting; the victim learns of its doom at
             # its next request — which a polling caller issues on a timer,

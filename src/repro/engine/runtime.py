@@ -65,6 +65,7 @@ from repro.engine.metrics import Metrics
 from repro.engine.operations import TransactionSpec
 from repro.engine.protocols.base import ConcurrencyControl, TransactionAborted
 from repro.engine.storage import DataStore, ShardedDataStore
+from repro.obs.trace import Tracer
 
 SCHEDULERS = ("run-queue", "round-scan")
 
@@ -127,6 +128,7 @@ class TransactionExecutor:
         metrics: Optional[Metrics] = None,
         fault_plan: Optional[FaultPlan] = None,
         scheduler: str = "run-queue",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if interleaving not in ("round-robin", "random", "serial"):
             raise ValueError(
@@ -139,8 +141,15 @@ class TransactionExecutor:
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError("max_concurrent must be at least 1")
         self.protocol = protocol
-        self.kernel = EngineKernel(protocol, metrics=metrics, fault_plan=fault_plan)
+        self.kernel = EngineKernel(
+            protocol, metrics=metrics, fault_plan=fault_plan, tracer=tracer
+        )
         self.metrics = self.kernel.metrics
+        #: the kernel's tracer; the executor owns its logical clock,
+        #: advancing ``tracer.now`` to the scheduler round so traced
+        #: events carry deterministic round stamps.
+        self.tracer = self.kernel.tracer
+        self._tracing = self.kernel._tracing
         #: set by the kernel when a parked session is woken mid-round; a
         #: wakeup makes that session runnable next round, so it counts as
         #: progress for the stuck detector.
@@ -243,6 +252,7 @@ class TransactionExecutor:
             )
 
         random_mode = self.interleaving == "random"
+        tracing = self._tracing
         while self._finished_count < total:
             if not rq.advance():
                 # nothing runnable, nothing cooling, and no wake can come:
@@ -252,6 +262,8 @@ class TransactionExecutor:
                     f"no progress with {total - self._finished_count} live "
                     f"transactions under {self.protocol.name}"
                 )
+            if tracing:
+                self.tracer.now = rq.round
             for session_id in rq.expired_cooldowns():
                 session = sessions[session_id]
                 session.cooldown = 0
@@ -348,7 +360,11 @@ class TransactionExecutor:
     # ------------------------------------------------------------------
     def _run_round_scan(self, sessions: List[Session]) -> None:
         live = list(sessions)
+        round_number = 0
         while live:
+            round_number += 1
+            if self._tracing:
+                self.tracer.now = round_number
             progressed = False
             self._woke_session = False
             admitted = (
@@ -450,6 +466,7 @@ def run_batch(
     fault_plan: Optional[FaultPlan] = None,
     metrics: Optional[Metrics] = None,
     scheduler: str = "run-queue",
+    tracer: Optional[Tracer] = None,
 ) -> ExecutionResult:
     """Convenience helper: build the protocol on ``store`` and run the batch."""
     protocol = protocol_factory(store)
@@ -463,6 +480,7 @@ def run_batch(
         fault_plan=fault_plan,
         metrics=metrics,
         scheduler=scheduler,
+        tracer=tracer,
     )
     return executor.run(specs)
 
@@ -579,6 +597,7 @@ def run_sharded_batch(
     fault_plan: Optional[FaultPlan] = None,
     metrics: Optional[Metrics] = None,
     scheduler: str = "run-queue",
+    tracer: Optional[Tracer] = None,
 ) -> ShardedExecutionResult:
     """Execute a batch with one protocol instance per shard.
 
@@ -615,5 +634,6 @@ def run_sharded_batch(
             fault_plan=_shard_fault_plan(fault_plan),
             metrics=metrics,
             scheduler=scheduler,
+            tracer=tracer,
         )
     return ShardedExecutionResult.merge(store, per_shard)

@@ -56,6 +56,7 @@ from repro.engine.metrics import Metrics
 from repro.engine.operations import TransactionSpec
 from repro.engine.protocols.base import ConcurrencyControl
 from repro.engine.storage import DataStore
+from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -180,13 +181,21 @@ class Simulator:
         config: Optional[SimulationConfig] = None,
         metrics: Optional[Metrics] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.protocol = protocol
         self.workload = workload
         self.config = config or SimulationConfig()
         self.rng = random.Random(self.config.seed)
-        self.kernel = EngineKernel(protocol, metrics=metrics, fault_plan=fault_plan)
+        self.kernel = EngineKernel(
+            protocol, metrics=metrics, fault_plan=fault_plan, tracer=tracer
+        )
         self.metrics = self.kernel.metrics
+        #: the kernel's tracer; the simulator owns its logical clock,
+        #: stamping events with virtual time (the decision time of the
+        #: interaction that produced them) — never the wall clock.
+        self.tracer = self.kernel.tracer
+        self._tracing = self.kernel._tracing
         self.kernel.wake_sink = self._on_wake
         self._events: List[Tuple[float, int, int]] = []  # (time, seq, client_id)
         self._seq = 0
@@ -310,6 +319,8 @@ class Simulator:
 
         if client.txn_id is None:
             self._effective_now = now
+            if self._tracing:
+                self.tracer.now = now
             self.kernel.step(client)  # begin: consumes no simulated time
             return now
 
@@ -328,6 +339,8 @@ class Simulator:
         client.breakdown.scheduling += queueing + config.scheduling_time
 
         self._effective_now = decision_time
+        if self._tracing:
+            self.tracer.now = decision_time
         result = self.kernel.step(client)
         if not result.was_commit:
             self.operations += 1

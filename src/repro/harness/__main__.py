@@ -120,6 +120,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.report:
             with open(args.report, "w") as handle:
                 handle.write(counterexample.render() + "\n")
+            _write_trace(args.report, [counterexample])
         return 0
 
     protocols = None if args.protocol == "all" else [
@@ -168,7 +169,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     + ", ".join(report.summary() for report in reports)
                     + "\n"
                 )
+        _write_trace(
+            args.report,
+            [r.counterexample for r in failed if r.counterexample is not None],
+        )
     return 1 if failed else 0
+
+
+def _write_trace(report_path: str, counterexamples) -> None:
+    """Save each counterexample's engine trace next to the report file.
+
+    ``<report>.trace.jsonl`` (first counterexample) is the convention the
+    CI soak job globs for artifacts; extras get a ``.N`` suffix.  The
+    trace is analysable with ``python -m repro.obs report``.
+    """
+    for index, counterexample in enumerate(counterexamples):
+        if counterexample.trace_jsonl is None:
+            continue
+        suffix = "" if index == 0 else f".{index}"
+        path = f"{report_path}.trace{suffix}.jsonl"
+        with open(path, "w") as handle:
+            handle.write(counterexample.trace_jsonl)
+        print(f"counterexample trace -> {path}")
 
 
 if __name__ == "__main__":

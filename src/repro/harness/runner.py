@@ -43,6 +43,7 @@ from repro.engine.storage import DataStore
 from repro.harness.oracles import OracleVerdict, evaluate_run
 from repro.harness.recorder import HistoryRecorder
 from repro.harness.scenarios import Scenario, build_scenario
+from repro.obs.trace import TraceRecorder, Tracer
 
 MODES = ("executor", "simulator")
 WAIT_POLICIES = ("event", "polling")
@@ -87,6 +88,10 @@ class Counterexample:
     #: set when the failing protocol was a seeded mutation (not in the
     #: registry): the replay command then goes through ``--mutate``
     mutation: Optional[str] = None
+    #: the shrunk cell's full event trace (JSON-lines), captured by a
+    #: dedicated re-run — deterministic, so it is exactly what a replay
+    #: of ``replay_command()`` would see
+    trace_jsonl: Optional[str] = None
 
     def replay_command(self) -> str:
         """A CLI line that re-executes exactly the failing cell.
@@ -168,6 +173,7 @@ def run_cell(
     quick: bool = False,
     scheduler: str = "run-queue",
     interleaving: str = "random",
+    tracer: Optional[Tracer] = None,
 ) -> CellOutcome:
     """Execute one matrix cell and judge it with the oracle stack.
 
@@ -176,6 +182,9 @@ def run_cell(
     its step order; both only apply to executor-mode cells.  The
     scheduler-equivalence suite runs the same cell under both schedulers
     with round-robin interleaving and demands byte-identical digests.
+    ``tracer`` threads a structured tracer through the cell's engine;
+    tracing never perturbs the run, so a traced cell's digest is
+    byte-identical to an untraced one (pinned by the determinism tests).
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -193,6 +202,7 @@ def run_cell(
             wait_policy=wait_policy,
             fault_plan=fault_plan,
             scheduler=scheduler,
+            tracer=tracer,
         )
         recorder.attach(executor.kernel)
         executor.run(list(scenario.specs))
@@ -206,7 +216,8 @@ def run_cell(
             max_attempts=40,
         )
         simulator = Simulator(
-            protocol, scenario.generator(), config, fault_plan=fault_plan
+            protocol, scenario.generator(), config, fault_plan=fault_plan,
+            tracer=tracer,
         )
         recorder.attach(simulator.kernel)
         simulator.run()
@@ -318,6 +329,14 @@ def run_seed(
                         entry, scenario, mode, wait_policy, quick,
                         scheduler=scheduler,
                     )
+                    # re-run the shrunk cell once with tracing on: the
+                    # trace is deterministic, so it shows exactly what a
+                    # replay of the recipe line will do, step by step
+                    trace_recorder = TraceRecorder()
+                    run_cell(
+                        entry, shrunk, mode, wait_policy, quick, scheduler,
+                        tracer=trace_recorder,
+                    )
                     report.counterexample = Counterexample(
                         seed=seed,
                         protocol=entry.name,
@@ -327,6 +346,7 @@ def run_seed(
                         scenario=shrunk,
                         outcome=shrunk_outcome,
                         quick=quick,
+                        trace_jsonl=trace_recorder.to_jsonl(),
                     )
     # byte-identical replay: re-run the first cell, compare digests
     if report.outcomes and selected:
