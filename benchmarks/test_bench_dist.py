@@ -1,0 +1,133 @@
+"""E18 — cross-shard 2PC under chaos: what faults cost, in virtual time.
+
+The distributed engine runs on a simulated network with a virtual
+clock, so its "throughput" is deterministic: commits per virtual second
+is a replayable number, not a wall-clock measurement.  This benchmark
+runs the same cross-shard transfer batch three ways — faultless,
+under message loss + duplication, and with a coordinator crash — and
+prints the commit rate, virtual makespan, retries and timeouts side by
+side.
+
+Asserted always (on any machine, quick or full):
+
+* conservation on every run — chaos sheds throughput, never money;
+* a commit **floor** per run (the client retry policy must push most
+  programs through even at 15% loss or through a coordinator crash);
+* loss strictly stretches the virtual makespan — and strictly lowers
+  commits per virtual second — vs the faultless run (retransmissions
+  and backoff cost virtual time, never money).
+"""
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.dist import CrashSpec, run_distributed_batch
+from repro.dist.recovery import AFTER_VOTES
+from repro.engine.faults import NetworkFaultSpec
+from repro.engine.metrics import Metrics
+from repro.engine.workloads import cross_shard_transfer_workload, dist_shard_of
+
+from _bench_env import QUICK
+
+NUM_SHARDS = 3
+NUM_TXNS = 12 if QUICK else 36
+LOSS = NetworkFaultSpec(loss_probability=0.15, duplicate_probability=0.05, seed=7)
+CRASH = (CrashSpec(AFTER_VOTES, txn_index=2, restart_delay=4.0),)
+
+
+def _build():
+    return cross_shard_transfer_workload(
+        num_shards=NUM_SHARDS,
+        accounts_per_shard=6,
+        num_transactions=NUM_TXNS,
+        cross_fraction=0.9,
+        seed=13,
+    )
+
+
+def _run(initial, specs, **kwargs):
+    metrics = Metrics()
+    report = run_distributed_batch(
+        initial,
+        specs,
+        num_shards=NUM_SHARDS,
+        shard_of=dist_shard_of,
+        seed=13,
+        metrics=metrics,
+        **kwargs,
+    )
+    return report, metrics.snapshot()
+
+
+def test_chaos_costs_virtual_time_not_money(benchmark):
+    initial, specs = _build()
+
+    def run_all():
+        started = time.perf_counter()
+        cells = {
+            "no-fault": _run(initial, specs),
+            "loss-15%": _run(initial, specs, network_faults=LOSS),
+            "crash": _run(initial, specs, crash_specs=CRASH),
+        }
+        return cells, time.perf_counter() - started
+
+    cells, _elapsed = benchmark(run_all)
+
+    rows = []
+    for name, (report, snapshot) in cells.items():
+        rate = report.commit_count / report.virtual_end
+        rows.append(
+            [
+                name,
+                f"{report.commit_count}/{NUM_TXNS}",
+                f"{report.virtual_end:.1f}",
+                f"{rate:.3f}",
+                snapshot.get("dist.retries", 0),
+                snapshot.get("dist.timeouts", 0),
+                snapshot.get("dist.coordinator_crashes", 0),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["cell", "commits", "virtual-makespan", "commits/vs",
+             "retries", "timeouts", "crashes"],
+            rows,
+        )
+    )
+
+    total = sum(initial.values())
+    for name, (report, _snapshot) in cells.items():
+        assert sum(report.final_snapshot.values()) == total, name
+
+    clean, _ = cells["no-fault"]
+    lossy, _ = cells["loss-15%"]
+    crashed, crashed_metrics = cells["crash"]
+
+    # the faultless run commits nearly everything (pure contention can
+    # still exhaust a client's attempt budget at full scale)
+    assert clean.commit_count >= int(0.85 * NUM_TXNS)
+    # chaos floor: retries push >= 75% of programs through regardless
+    assert lossy.commit_count >= int(0.75 * NUM_TXNS)
+    assert crashed.commit_count >= int(0.75 * NUM_TXNS)
+    # loss pays in virtual time: retransmissions + backoff stretch the
+    # run and depress the deterministic commit rate
+    assert lossy.virtual_end > clean.virtual_end
+    assert (
+        lossy.commit_count / lossy.virtual_end
+        < clean.commit_count / clean.virtual_end
+    )
+    assert crashed_metrics["dist.coordinator_crashes"] == 1
+
+
+def test_chaos_cells_replay_byte_identically(benchmark):
+    initial, specs = _build()
+
+    def digests():
+        return [
+            _run(initial, specs, network_faults=LOSS)[0].digest(),
+            _run(initial, specs, crash_specs=CRASH)[0].digest(),
+        ]
+
+    first = benchmark(digests)
+    assert first == digests()

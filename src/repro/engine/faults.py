@@ -158,3 +158,165 @@ class FaultPlan:
 def plan_from(spec: Optional[FaultSpec]) -> Optional[FaultPlan]:
     """A fresh plan for ``spec``, or ``None`` for fault-free runs."""
     return None if spec is None else FaultPlan(spec)
+
+
+# ----------------------------------------------------------------------
+# network faults: the simulated-network counterpart of FaultSpec/FaultPlan
+# ----------------------------------------------------------------------
+
+#: actions a network plan may request for one message send
+DROP_ACTION = "drop"
+DUPLICATE_ACTION = "duplicate"
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A virtual-time interval during which a node group is cut off.
+
+    Messages between an ``isolated`` node and any node outside the group
+    are dropped while ``start <= now < end`` (messages *within* the
+    isolated group still flow — it is a partition, not a crash).
+    """
+
+    start: float
+    end: float
+    isolated: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < 0:
+            raise ValueError(
+                f"partition window times must be non-negative, got "
+                f"[{self.start!r}, {self.end!r})"
+            )
+        if self.end < self.start:
+            raise ValueError(
+                f"partition window must have start <= end, got "
+                f"[{self.start!r}, {self.end!r})"
+            )
+        object.__setattr__(self, "isolated", frozenset(self.isolated))
+
+    def severs(self, src: str, dst: str, now: float) -> bool:
+        """Whether this window drops a ``src -> dst`` message at ``now``."""
+        if not self.start <= now < self.end:
+            return False
+        return (src in self.isolated) != (dst in self.isolated)
+
+
+@dataclass(frozen=True)
+class NetworkFaultSpec:
+    """Declarative description of a deterministic network-chaos campaign.
+
+    The simulated network (:mod:`repro.dist.network`) consults the
+    matching :class:`NetworkFaultPlan` once per message send, exactly as
+    the engine kernel consults a :class:`FaultPlan` once per protocol
+    interaction — same replay contract, same one-draw-per-consult rule.
+
+    Parameters
+    ----------
+    loss_probability:
+        Chance that a message is silently dropped.
+    duplicate_probability:
+        Chance that a message is delivered twice (with independent
+        latency draws, so the copies may also arrive reordered).
+    partitions:
+        Virtual-time windows during which a node group is unreachable.
+    max_injections:
+        Overall cap on injected drops/duplicates (``None`` = unlimited);
+        partition drops are deterministic and do not count against it.
+    seed:
+        Seed of the plan's private RNG.
+    """
+
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    partitions: Tuple[PartitionWindow, ...] = ()
+    max_injections: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_probability", "duplicate_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        total = self.loss_probability + self.duplicate_probability
+        if total > 1.0:
+            raise ValueError(
+                "loss_probability + duplicate_probability must not exceed 1, "
+                f"got {total!r}"
+            )
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+
+
+@dataclass(frozen=True)
+class NetworkFaultEvent:
+    """One injected network fault, for the counterexample report."""
+
+    index: int
+    src: str
+    dst: str
+    kind: str
+    action: str
+    time: float
+
+    def __str__(self) -> str:
+        return (
+            f"#{self.index}: {self.action} {self.kind!r} "
+            f"{self.src}->{self.dst} at t={self.time:g}"
+        )
+
+
+class NetworkFaultPlan:
+    """The stateful injector the simulated network consults per send.
+
+    Mirrors :class:`FaultPlan`: one private RNG seeded by the spec, one
+    draw per consultation, an append-only event log — so the same
+    (network seed, fault seed) pair replays the identical loss and
+    duplication stream for the same message sequence.  Partition drops
+    are a pure function of ``(src, dst, now)`` and consume no
+    randomness, so a partition window never perturbs the loss stream.
+    """
+
+    def __init__(self, spec: NetworkFaultSpec) -> None:
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self._consults = 0
+        self._seeded = 0
+        self.events: List[NetworkFaultEvent] = []
+
+    @property
+    def injections(self) -> int:
+        return len(self.events)
+
+    def intercept(self, src: str, dst: str, kind: str, now: float) -> Optional[str]:
+        """Decide the fate of one message send; ``None`` = deliver once."""
+        for window in self.spec.partitions:
+            if window.severs(src, dst, now):
+                self.events.append(
+                    NetworkFaultEvent(
+                        len(self.events), src, dst, kind, DROP_ACTION, now
+                    )
+                )
+                return DROP_ACTION
+        self._consults += 1
+        roll = self._rng.random()
+        spec = self.spec
+        if spec.max_injections is not None and self._seeded >= spec.max_injections:
+            return None
+        action: Optional[str] = None
+        if roll < spec.loss_probability:
+            action = DROP_ACTION
+        elif roll < spec.loss_probability + spec.duplicate_probability:
+            action = DUPLICATE_ACTION
+        if action is not None:
+            self._seeded += 1
+            self.events.append(
+                NetworkFaultEvent(len(self.events), src, dst, kind, action, now)
+            )
+        return action
+
+
+def network_plan_from(
+    spec: Optional[NetworkFaultSpec],
+) -> Optional[NetworkFaultPlan]:
+    """A fresh plan for ``spec``, or ``None`` for a reliable network."""
+    return None if spec is None else NetworkFaultPlan(spec)

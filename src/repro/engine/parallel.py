@@ -52,6 +52,32 @@ from repro.engine.storage import ShardedDataStore
 from repro.obs.trace import Tracer
 
 
+class ShardWorkerError(RuntimeError):
+    """A shard worker died mid-batch, with the context to reproduce it.
+
+    The bare exception a worker raises surfaces from the pool stripped
+    of everything needed to replay the failure; this wrapper pins the
+    shard index and the shard's derived engine seed to the error so
+    ``run_batch(..., seed=error.seed)`` on that shard's snapshot
+    reproduces the crash deterministically.  It crosses the process
+    boundary intact (see ``__reduce__``), so the in-process and pooled
+    paths raise identically.
+    """
+
+    def __init__(self, shard_index: int, seed: Optional[int], message: str) -> None:
+        super().__init__(
+            f"shard {shard_index} worker failed (seed={seed!r}): {message}"
+        )
+        self.shard_index = shard_index
+        self.seed = seed
+        self.message = message
+
+    def __reduce__(self):
+        # default exception pickling would re-call __init__ with
+        # self.args (the formatted string) and crash on arity
+        return (ShardWorkerError, (self.shard_index, self.seed, self.message))
+
+
 @dataclass(frozen=True)
 class _ShardTask:
     """Everything one worker needs to execute one shard, picklable."""
@@ -71,21 +97,33 @@ class _ShardTask:
 
 
 def _run_shard_task(task: _ShardTask) -> Tuple[int, ExecutionResult]:
-    """Worker entry point: rebuild the shard store and run its batch."""
-    store = task.store_factory(task.initial)
-    result = run_batch(
-        task.protocol_factory,
-        store,
-        list(task.specs),
-        interleaving=task.interleaving,
-        seed=task.seed,
-        max_attempts=task.max_attempts,
-        max_concurrent=task.max_concurrent,
-        wait_policy=task.wait_policy,
-        scheduler=task.scheduler,
-        fault_plan=None if task.fault_spec is None else FaultPlan(task.fault_spec),
-        metrics=Metrics(),
-    )
+    """Worker entry point: rebuild the shard store and run its batch.
+
+    Any failure is re-raised as :class:`ShardWorkerError` *inside* the
+    worker, so the typed error (not a context-free traceback) is what
+    crosses the process boundary back to the caller.
+    """
+    try:
+        store = task.store_factory(task.initial)
+        result = run_batch(
+            task.protocol_factory,
+            store,
+            list(task.specs),
+            interleaving=task.interleaving,
+            seed=task.seed,
+            max_attempts=task.max_attempts,
+            max_concurrent=task.max_concurrent,
+            wait_policy=task.wait_policy,
+            scheduler=task.scheduler,
+            fault_plan=None if task.fault_spec is None else FaultPlan(task.fault_spec),
+            metrics=Metrics(),
+        )
+    except ShardWorkerError:
+        raise
+    except Exception as error:
+        raise ShardWorkerError(
+            task.shard_index, task.seed, f"{type(error).__name__}: {error}"
+        ) from error
     return task.shard_index, result
 
 

@@ -73,6 +73,20 @@ ABORT_MVTO_READ_INVALIDATION = "mvto-read-invalidation"
 #: the deterministic fault injector forced this attempt to abort
 ABORT_FAULT_INJECTED = "fault-injected"
 
+# --- distributed two-phase commit (repro.dist) ---------------------------
+#: 2PC: the coordinator exhausted its retry budget waiting for a shard
+#: (read replies, votes) and aborted the transaction
+ABORT_TPC_TIMEOUT = "2pc-timeout"
+#: 2PC: the coordinator crashed before logging a decision; recovery
+#: presumed abort (the write-ahead decision log had no outcome)
+ABORT_TPC_COORDINATOR_CRASH = "2pc-coordinator-crash"
+#: 2PC: a participant voted NO at prepare — validation found a stale
+#: read version or a prepare-lock conflict on its shard
+ABORT_TPC_PARTICIPANT_NO = "2pc-participant-no"
+#: 2PC: admission control shed the transaction — a shard it touches
+#: crossed the degradation threshold, or the backpressure queue is full
+ABORT_TPC_SHED = "2pc-shed"
+
 #: every taxonomy code with a one-line description — the README table and
 #: the ``python -m repro.obs`` abort summary render from this registry
 ABORT_REASONS: Dict[str, str] = {
@@ -89,5 +103,20 @@ ABORT_REASONS: Dict[str, str] = {
     ABORT_SSI_FASTPATH_PIVOT: "SSI read-only fast path raced a committed pivot",
     ABORT_MVTO_READ_INVALIDATION: "MVTO superseded version already read later",
     ABORT_FAULT_INJECTED: "deterministic fault injection",
+    ABORT_TPC_TIMEOUT: "2PC retry budget exhausted waiting on a shard",
+    ABORT_TPC_COORDINATOR_CRASH: "2PC coordinator crashed pre-decision (presumed abort)",
+    ABORT_TPC_PARTICIPANT_NO: "2PC participant voted NO at prepare",
+    ABORT_TPC_SHED: "2PC admission shed (degraded shard or full backlog)",
     ABORT_UNSPECIFIED: "legacy/unclassified abort (should not occur)",
 }
+
+#: the distributed-commit subset: every abort the 2PC layer issues must
+#: carry one of these (pinned by the distributed conformance oracles)
+TPC_ABORT_CODES = frozenset(
+    {
+        ABORT_TPC_TIMEOUT,
+        ABORT_TPC_COORDINATOR_CRASH,
+        ABORT_TPC_PARTICIPANT_NO,
+        ABORT_TPC_SHED,
+    }
+)

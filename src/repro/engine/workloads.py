@@ -584,3 +584,82 @@ def partitioned_workload(
     return _materialise(
         partitioned_generator(config, num_partitions), num_transactions, seed
     )
+
+
+# ---------------------------------------------------------------------------
+# cross-shard workloads (the distributed 2PC layer, repro.dist)
+# ---------------------------------------------------------------------------
+
+
+def dist_shard_of(key: str) -> int:
+    """Shard index for ``s{n}:...`` keys — the distributed workloads' scheme.
+
+    Explicit-prefix sharding (rather than the hashed default) keeps the
+    cross-shard *fraction* of a generated batch an exact, seeded choice
+    instead of an accident of key hashing.
+    """
+    return int(key.split(":", 1)[0][1:])
+
+
+def cross_shard_initial_data(
+    num_shards: int = 3, accounts_per_shard: int = 4, balance: int = 100
+) -> Dict[str, int]:
+    """Balances for ``s{shard}:acct{i}`` accounts across every shard."""
+    return {
+        f"s{shard}:acct{i}": balance
+        for shard in range(num_shards)
+        for i in range(accounts_per_shard)
+    }
+
+
+def cross_shard_transfer_workload(
+    num_shards: int = 3,
+    accounts_per_shard: int = 4,
+    num_transactions: int = 20,
+    cross_fraction: float = 0.7,
+    min_amount: int = 5,
+    max_amount: int = 25,
+    balance: int = 100,
+    seed: int = 0,
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """A batch of conditional transfers, mostly spanning two shards.
+
+    Each transaction moves a seeded amount between two distinct
+    accounts (guarded on sufficient funds, like the paper's banking
+    transfer, so money is conserved under any interleaving); with
+    probability ``cross_fraction`` the two accounts live on different
+    shards, which is what forces the 2PC path.  The conservation oracle
+    for any run is simply ``sum(balances) == num_shards *
+    accounts_per_shard * balance``.
+    """
+    if num_shards < 2:
+        raise ValueError("cross-shard workload needs at least 2 shards")
+    if not 0.0 <= cross_fraction <= 1.0:
+        raise ValueError(f"cross_fraction must be in [0, 1], got {cross_fraction!r}")
+    rng = random.Random(seed)
+    initial = cross_shard_initial_data(num_shards, accounts_per_shard, balance)
+    specs: List[TransactionSpec] = []
+    for n in range(num_transactions):
+        src_shard = rng.randrange(num_shards)
+        if rng.random() < cross_fraction:
+            dst_shard = rng.randrange(num_shards - 1)
+            if dst_shard >= src_shard:
+                dst_shard += 1
+        else:
+            dst_shard = src_shard
+        src_acct = rng.randrange(accounts_per_shard)
+        dst_acct = rng.randrange(accounts_per_shard)
+        if dst_shard == src_shard:
+            while dst_acct == src_acct:
+                dst_acct = rng.randrange(accounts_per_shard)
+        source = f"s{src_shard}:acct{src_acct}"
+        target = f"s{dst_shard}:acct{dst_acct}"
+        amount = rng.randint(min_amount, max_amount)
+        spec = banking_transfer(source, target, amount)
+        specs.append(
+            TransactionSpec(
+                spec.operations,
+                name=f"xfer{n}:{source}->{target}",
+            )
+        )
+    return initial, specs

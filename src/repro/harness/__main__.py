@@ -32,9 +32,10 @@ from repro.harness.runner import (
     MODES,
     WAIT_POLICIES,
     mutation_smoke,
+    run_dist_seeds,
     run_seeds,
 )
-from repro.harness.scenarios import scenario_families
+from repro.harness.scenarios import DIST_PLANS, scenario_families
 
 
 def parse_seeds(text: str) -> List[int]:
@@ -101,12 +102,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--mutate", default=None, choices=["ssi-pivot"],
         help="run the mutation smoke: seed a known bug and demand detection",
     )
+    parser.add_argument(
+        "--dist", action="store_true",
+        help="run the distributed chaos matrix instead (cross-shard 2PC "
+             "cells under message loss and coordinator crashes)",
+    )
+    parser.add_argument(
+        "--plan", default=None, choices=DIST_PLANS,
+        help="with --dist: pin one chaos plan (default: all of "
+             f"{', '.join(DIST_PLANS)})",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     quick = args.quick or os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+    if args.dist:
+        return _main_dist(args, quick)
+
     modes = _parse_axis(args.mode, MODES, "--mode")
     wait_policies = _parse_axis(args.wait_policy, WAIT_POLICIES, "--wait-policy")
 
@@ -173,6 +188,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.report,
             [r.counterexample for r in failed if r.counterexample is not None],
         )
+    return 1 if failed else 0
+
+
+def _main_dist(args, quick: bool) -> int:
+    """The distributed chaos sweep: seeds × {none, loss, crash} cells."""
+    plans = (args.plan,) if args.plan else None
+    reports = run_dist_seeds(args.seed, plans=plans, quick=quick)
+    failed = [report for report in reports if not report.ok]
+    for report in reports:
+        print(report.summary())
+    cells = sum(len(report.outcomes) for report in reports)
+    print(
+        f"{len(reports)} seed(s), {cells} dist cell(s): "
+        f"{'all conforming' if not failed else f'{len(failed)} seed(s) VIOLATING'}"
+    )
+    body = [report.render_failures() for report in failed]
+    if body:
+        print()
+        print("\n\n".join(body))
+    if args.report:
+        with open(args.report, "w") as handle:
+            if body:
+                handle.write("\n\n".join(body) + "\n")
+            else:
+                handle.write(
+                    "all conforming: "
+                    + ", ".join(report.summary() for report in reports)
+                    + "\n"
+                )
     return 1 if failed else 0
 
 

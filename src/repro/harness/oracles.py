@@ -243,3 +243,134 @@ def evaluate_run(
         )
     verdicts.extend(invariant_verdicts(scenario, ctx, guarantee))
     return verdicts
+
+
+# ----------------------------------------------------------------------
+# distributed-run oracles (repro.dist 2PC cells)
+# ----------------------------------------------------------------------
+
+
+def evaluate_dist_run(scenario, report) -> Tuple[OracleVerdict, ...]:
+    """Judge one distributed 2PC run against the five chaos oracles.
+
+    Every oracle is *required* regardless of plan: the whole point of
+    the chaos matrix is that loss, duplication, partitions and
+    coordinator crashes must never cost atomicity or conservation —
+    only throughput.
+
+    1. **dist-conservation** — cross-shard transfers move money, never
+       create it: the merged final snapshot sums to the initial sum.
+    2. **dist-atomicity** — all-or-nothing per transaction: a committed
+       transaction's writes are applied on every shard holding a slice
+       of its write set; a presumed-abort transaction is applied
+       nowhere.
+    3. **dist-replay** — the decision log is a serialization order:
+       replaying the committed write sets in log order over the initial
+       data reproduces the final snapshot exactly.
+    4. **dist-locks** — no orphans: at quiescence no participant holds
+       a prepare lock or an undecided prepared transaction.
+    5. **dist-taxonomy** — every aborted client attempt carries a
+       machine-readable ``2pc-*`` reason code.
+    """
+    from repro.dist.recovery import COMMIT as DIST_COMMIT
+    from repro.engine.reasons import TPC_ABORT_CODES
+
+    verdicts: List[OracleVerdict] = []
+
+    expected_total = sum(scenario.initial_data.values())
+    actual_total = sum(report.final_snapshot.values())
+    verdicts.append(
+        OracleVerdict(
+            "dist-conservation",
+            actual_total == expected_total,
+            required=True,
+            detail=f"sum(balances) = {actual_total}, expected {expected_total}",
+        )
+    )
+
+    atomicity_detail = ""
+    log_state = report.coordinator.log.replay()
+    for txn_id in sorted(log_state):
+        shards, decision, _ended, _index = log_state[txn_id]
+        applied_on = sorted(
+            name
+            for name, participant in report.participants.items()
+            if txn_id in participant.applied
+        )
+        if decision == DIST_COMMIT:
+            # a commit needs every shard's YES vote, so every shard of
+            # the transaction must have prepared — and therefore must
+            # have applied its slice (possibly empty) by quiescence
+            missing = [
+                name for name in shards if txn_id not in report.participants[name].applied
+            ]
+            aborted_on = sorted(
+                name
+                for name, participant in report.participants.items()
+                if participant.outcomes.get(txn_id) == "abort"
+            )
+            if aborted_on:
+                atomicity_detail = (
+                    f"T{txn_id} committed but {aborted_on} recorded abort"
+                )
+                break
+            if missing:
+                atomicity_detail = f"T{txn_id} committed but {missing} never applied"
+                break
+        else:
+            if applied_on:
+                atomicity_detail = (
+                    f"T{txn_id} presumed aborted but applied on {applied_on}"
+                )
+                break
+    verdicts.append(
+        OracleVerdict(
+            "dist-atomicity", not atomicity_detail, required=True, detail=atomicity_detail
+        )
+    )
+
+    replayed = dict(scenario.initial_data)
+    for _txn_id, writes in report.committed:
+        replayed.update(writes)
+    replay_detail = ""
+    if replayed != report.final_snapshot:
+        diff = sorted(
+            key
+            for key in set(replayed) | set(report.final_snapshot)
+            if replayed.get(key) != report.final_snapshot.get(key)
+        )
+        replay_detail = (
+            f"replaying the decision log diverges from the final state on {diff[:5]}"
+        )
+    verdicts.append(
+        OracleVerdict("dist-replay", not replay_detail, required=True, detail=replay_detail)
+    )
+
+    lock_detail = ""
+    for name in sorted(report.participants):
+        participant = report.participants[name]
+        if participant.locks or participant.in_doubt:
+            lock_detail = (
+                f"{name} still holds locks={sorted(participant.locks)} "
+                f"in-doubt={sorted(participant.in_doubt)} at quiescence"
+            )
+            break
+    verdicts.append(
+        OracleVerdict("dist-locks", not lock_detail, required=True, detail=lock_detail)
+    )
+
+    taxonomy_detail = ""
+    for record in report.abort_records:
+        if record.code not in TPC_ABORT_CODES:
+            taxonomy_detail = (
+                f"aborted attempt (spec {record.spec_index}, attempt "
+                f"{record.attempt}) carries code {record.code!r}, "
+                f"not a 2pc-* taxonomy code"
+            )
+            break
+    verdicts.append(
+        OracleVerdict(
+            "dist-taxonomy", not taxonomy_detail, required=True, detail=taxonomy_detail
+        )
+    )
+    return tuple(verdicts)

@@ -445,3 +445,132 @@ def mutation_smoke(
             report.counterexample.mutation = "ssi-pivot"
             return report.counterexample
     return None
+
+
+# ----------------------------------------------------------------------
+# distributed chaos cells (cross-shard 2PC, repro.dist)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DistCellOutcome:
+    """One distributed chaos cell: a 2PC run and its oracle verdicts."""
+
+    plan: str
+    committed: int
+    attempts: int
+    crashes: int
+    digest: str
+    verdicts: Tuple[OracleVerdict, ...]
+    replay_ok: bool
+
+    @property
+    def violations(self) -> Tuple[OracleVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.required and not v.ok)
+
+    @property
+    def ok(self) -> bool:
+        return self.replay_ok and not self.violations
+
+
+@dataclass
+class DistReport:
+    """Everything one seed produced across the chaos-plan matrix."""
+
+    seed: int
+    outcomes: List[Tuple[Any, DistCellOutcome]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for _scenario, outcome in self.outcomes)
+
+    def summary(self) -> str:
+        bad = [outcome for _s, outcome in self.outcomes if not outcome.ok]
+        status = "ok" if self.ok else f"{len(bad)} violating cell(s)"
+        cells = ", ".join(
+            f"{outcome.plan}:{outcome.committed}/{outcome.attempts}c"
+            + ("" if outcome.replay_ok else " REPLAY-MISMATCH")
+            for _s, outcome in self.outcomes
+        )
+        return f"dist seed {self.seed} [{cells}] {status}"
+
+    def render_failures(self) -> str:
+        lines: List[str] = []
+        for scenario, outcome in self.outcomes:
+            if outcome.ok:
+                continue
+            lines.append(
+                f"dist counterexample: seed={self.seed} plan={scenario.plan} "
+                f"shards={scenario.num_shards}"
+            )
+            lines.append(scenario.describe())
+            if not outcome.replay_ok:
+                lines.append(
+                    "  replay mismatch: the same cell produced two different "
+                    "digests (nondeterminism bug)"
+                )
+            for verdict in outcome.violations:
+                lines.append(f"  {verdict}")
+            lines.append(
+                f"replay: python -m repro.harness --dist --seed {self.seed} "
+                f"--plan {scenario.plan}"
+            )
+        return "\n".join(lines)
+
+
+def _run_dist_scenario(scenario) -> Any:
+    from repro.dist import run_distributed_batch
+    from repro.engine.workloads import dist_shard_of
+
+    return run_distributed_batch(
+        scenario.initial_data,
+        list(scenario.specs),
+        num_shards=scenario.num_shards,
+        shard_of=dist_shard_of,
+        network_faults=scenario.network_faults,
+        crash_specs=list(scenario.crash_specs),
+        seed=scenario.seed,
+    )
+
+
+def run_dist_cell(scenario) -> DistCellOutcome:
+    """Run one distributed chaos cell — twice, to pin replay determinism.
+
+    The second run must produce a byte-identical digest; a mismatch is
+    reported as its own failure (``replay_ok``), separate from oracle
+    violations, because nondeterminism invalidates every other verdict's
+    replayability.
+    """
+    from repro.harness.oracles import evaluate_dist_run
+
+    report = _run_dist_scenario(scenario)
+    rerun = _run_dist_scenario(scenario)
+    verdicts = evaluate_dist_run(scenario, report)
+    return DistCellOutcome(
+        plan=scenario.plan,
+        committed=report.commit_count,
+        attempts=len(scenario.specs),
+        crashes=report.coordinator.crashes,
+        digest=report.digest(),
+        verdicts=verdicts,
+        replay_ok=report.digest() == rerun.digest(),
+    )
+
+
+def run_dist_seeds(
+    seeds: Sequence[int],
+    plans: Optional[Sequence[str]] = None,
+    quick: bool = False,
+) -> List[DistReport]:
+    """The distributed conformance sweep: seeds × chaos plans."""
+    from repro.harness.scenarios import DIST_PLANS, build_dist_scenario
+
+    chosen = tuple(plans) if plans else DIST_PLANS
+    reports: List[DistReport] = []
+    for seed in seeds:
+        report = DistReport(seed=seed)
+        for plan in chosen:
+            scenario = build_dist_scenario(seed, plan=plan, quick=quick)
+            report.outcomes.append((scenario, run_dist_cell(scenario)))
+        reports.append(report)
+    return reports

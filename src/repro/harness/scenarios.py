@@ -381,3 +381,119 @@ def build_scenario(
         invariants=tuple(invariants),
         fault_spec=fault_spec,
     )
+
+
+# ----------------------------------------------------------------------
+# distributed scenarios: cross-shard 2PC cells (repro.dist)
+# ----------------------------------------------------------------------
+
+#: the chaos plans the distributed conformance matrix sweeps
+DIST_PLANS = ("none", "loss", "crash")
+
+
+@dataclass(frozen=True)
+class DistScenario:
+    """A seeded cross-shard workload plus its chaos configuration.
+
+    The distributed sibling of :class:`Scenario`: the specs span shards
+    (so they exercise the 2PC path), and instead of an engine
+    ``FaultSpec`` it carries the network-level chaos — a
+    :class:`~repro.engine.faults.NetworkFaultSpec` and/or coordinator
+    :class:`~repro.dist.recovery.CrashSpec` injections.  Oracles live in
+    :func:`repro.harness.oracles.evaluate_dist_run` rather than as
+    per-scenario invariants: every distributed run is judged by the same
+    five (conservation, atomicity, replay consistency, orphan locks,
+    abort taxonomy).
+    """
+
+    name: str
+    seed: int
+    plan: str
+    initial_data: Dict[str, Any]
+    specs: Tuple[TransactionSpec, ...]
+    num_shards: int
+    network_faults: Optional[Any] = None
+    crash_specs: Tuple[Any, ...] = ()
+
+    def describe(self) -> str:
+        lines = [
+            f"  shards={self.num_shards} plan={self.plan} "
+            f"faults={self.network_faults!r} crashes={list(self.crash_specs)}"
+        ]
+        for index, spec in enumerate(self.specs):
+            ops = " ".join(str(op) for op in spec.operations)
+            lines.append(f"  [{index}] {spec.name}: {ops}")
+        return "\n".join(lines)
+
+
+def build_dist_scenario(
+    seed: int, plan: str = "none", quick: bool = False
+) -> DistScenario:
+    """Derive one distributed chaos cell deterministically from a seed.
+
+    ``plan`` picks the chaos family: ``"none"`` is the faultless
+    baseline, ``"loss"`` adds seeded message loss + duplication (and on
+    some seeds a partition window), ``"crash"`` injects one or two
+    coordinator crashes at seed-chosen :data:`~repro.dist.recovery.
+    CRASH_POINTS` transitions.  Everything — topology size, batch size,
+    fault probabilities, crash transitions — is drawn from one
+    ``random.Random(seed)``, so a cell is replayed exactly by its
+    ``(seed, plan, quick)`` triple.
+    """
+    from repro.dist.recovery import CRASH_POINTS, CrashSpec
+    from repro.engine.faults import NetworkFaultSpec, PartitionWindow
+    from repro.engine.workloads import cross_shard_transfer_workload
+
+    if plan not in DIST_PLANS:
+        raise ValueError(f"plan must be one of {DIST_PLANS}, got {plan!r}")
+    rng = random.Random(seed * 9176 + 11)
+    num_shards = rng.choice((2, 3, 4))
+    accounts_per_shard = 3 if quick else rng.choice((3, 4, 5))
+    num_transactions = (6 if quick else rng.choice((10, 14, 18)))
+    initial, specs = cross_shard_transfer_workload(
+        num_shards=num_shards,
+        accounts_per_shard=accounts_per_shard,
+        num_transactions=num_transactions,
+        cross_fraction=0.8,
+        seed=rng.randrange(1 << 30),
+    )
+    network_faults = None
+    crash_specs: Tuple[Any, ...] = ()
+    if plan == "loss":
+        partitions = ()
+        if rng.random() < 0.4:
+            start = rng.uniform(0.0, 20.0)
+            shard = f"shard{rng.randrange(num_shards)}"
+            partitions = (
+                PartitionWindow(start, start + rng.uniform(5.0, 15.0), frozenset({shard})),
+            )
+        network_faults = NetworkFaultSpec(
+            loss_probability=rng.uniform(0.05, 0.2),
+            duplicate_probability=rng.uniform(0.0, 0.1),
+            partitions=partitions,
+            seed=rng.randrange(1 << 30),
+        )
+    elif plan == "crash":
+        count = 1 + (rng.random() < 0.3)
+        picked = set()
+        specs_list = []
+        for _ in range(count):
+            transition = rng.choice(CRASH_POINTS)
+            txn_index = rng.randrange(num_transactions)
+            if (transition, txn_index) in picked:
+                continue
+            picked.add((transition, txn_index))
+            specs_list.append(
+                CrashSpec(transition, txn_index=txn_index, restart_delay=rng.uniform(2.0, 10.0))
+            )
+        crash_specs = tuple(specs_list)
+    return DistScenario(
+        name=f"cross-shard-transfers/{plan}",
+        seed=seed,
+        plan=plan,
+        initial_data=initial,
+        specs=tuple(specs),
+        num_shards=num_shards,
+        network_faults=network_faults,
+        crash_specs=crash_specs,
+    )

@@ -43,6 +43,17 @@ RESTART = "restart"      # session reset for a fresh attempt
 
 EVENT_TYPES = (BEGIN, READ, WRITE, BLOCK, WAKE, VALIDATE, COMMIT, ABORT, RESTART)
 
+# distributed-layer events (repro.dist): kept in their own tuple so the
+# single-engine lifecycle set above stays exactly the kernel's vocabulary
+SEND = "send"            # a message entered the simulated network
+RECV = "recv"            # a message was delivered to its node
+TIMEOUT = "timeout"      # a protocol timer fired (retry/backoff path)
+DECIDE = "decide"        # the 2PC coordinator logged a commit/abort decision
+CRASH = "crash"          # the coordinator crashed (volatile state lost)
+RECOVER = "recover"      # the coordinator restarted and replayed its log
+
+DIST_EVENT_TYPES = (SEND, RECV, TIMEOUT, DECIDE, CRASH, RECOVER)
+
 
 class TraceEvent:
     """One engine lifecycle transition, with logical timing.

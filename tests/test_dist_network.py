@@ -1,0 +1,201 @@
+"""Tests for the simulated network: determinism, faults, timers, crashes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist.network import LatencyModel, Message, SimulatedNetwork
+from repro.engine.faults import (
+    NetworkFaultSpec,
+    PartitionWindow,
+    network_plan_from,
+)
+from repro.engine.metrics import Metrics
+
+
+class Recorder:
+    """A node that logs every delivery and timer firing."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.accepting_messages = True
+        self.accepting_timers = True
+        self.log = []
+
+    def on_message(self, now, message: Message) -> None:
+        self.log.append(("msg", round(now, 9), message.kind, message.payload.get("n")))
+
+    def on_timer(self, now, kind, payload) -> None:
+        self.log.append(("timer", round(now, 9), kind, payload.get("n")))
+
+
+def build(seed=0, latency=None, fault_spec=None, metrics=None):
+    network = SimulatedNetwork(
+        latency=latency,
+        seed=seed,
+        fault_plan=network_plan_from(fault_spec),
+        metrics=metrics or Metrics(),
+    )
+    a = network.register(Recorder("a"))
+    b = network.register(Recorder("b"))
+    return network, a, b
+
+
+class TestLatencyModel:
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError, match="base"):
+            LatencyModel(base=-1.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            LatencyModel(jitter=-0.5)
+
+    def test_zero_jitter_is_constant(self):
+        import random
+
+        model = LatencyModel(base=2.0, jitter=0.0)
+        assert model.sample(random.Random(0)) == 2.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_delivery_order(self):
+        def run(seed):
+            network, a, b = build(seed=seed, latency=LatencyModel(1.0, 2.0))
+            for n in range(30):
+                network.send("a", "b", "ping", {"n": n})
+            network.run()
+            return b.log
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_jitter_reorders_messages(self):
+        network, a, b = build(seed=1, latency=LatencyModel(1.0, 5.0))
+        for n in range(20):
+            network.send("a", "b", "ping", {"n": n})
+        network.run()
+        arrival = [entry[3] for entry in b.log]
+        assert sorted(arrival) == list(range(20))
+        assert arrival != list(range(20))  # at least one inversion
+
+    def test_duplicate_names_rejected(self):
+        network, a, b = build()
+        with pytest.raises(ValueError, match="already registered"):
+            network.register(Recorder("a"))
+
+    def test_unknown_destination_rejected(self):
+        network, a, b = build()
+        with pytest.raises(KeyError, match="nobody"):
+            network.send("a", "nobody", "ping", {})
+
+
+class TestFaults:
+    def test_loss_drops_messages(self):
+        metrics = Metrics()
+        network, a, b = build(
+            seed=3,
+            fault_spec=NetworkFaultSpec(loss_probability=0.5, seed=9),
+            metrics=metrics,
+        )
+        for n in range(40):
+            network.send("a", "b", "ping", {"n": n})
+        network.run()
+        snapshot = metrics.snapshot()
+        assert snapshot["dist.net.dropped"] > 0
+        assert len(b.log) == 40 - snapshot["dist.net.dropped"]
+
+    def test_duplication_delivers_twice(self):
+        metrics = Metrics()
+        network, a, b = build(
+            seed=3,
+            fault_spec=NetworkFaultSpec(duplicate_probability=0.5, seed=9),
+            metrics=metrics,
+        )
+        for n in range(40):
+            network.send("a", "b", "ping", {"n": n})
+        network.run()
+        snapshot = metrics.snapshot()
+        assert snapshot["dist.net.duplicated"] > 0
+        assert len(b.log) == 40 + snapshot["dist.net.duplicated"]
+
+    def test_partition_window_cuts_then_heals(self):
+        spec = NetworkFaultSpec(
+            partitions=(PartitionWindow(0.0, 10.0, frozenset({"b"})),)
+        )
+        network, a, b = build(seed=0, latency=LatencyModel(1.0, 0.0), fault_spec=spec)
+        network.send("a", "b", "early", {"n": 0})  # t=0: severed
+        network.set_timer("a", 15.0, "later", {"n": 1})
+        network.run()
+        # the early message died; after the window heals a new send flows
+        assert ("msg", 1.0, "early", 0) not in b.log
+        network.send("a", "b", "late", {"n": 2})
+        network.run()
+        assert b.log[-1] == ("msg", 16.0, "late", 2)
+
+
+class TestTimers:
+    def test_timer_fires_at_virtual_time(self):
+        network, a, b = build()
+        network.set_timer("a", 5.0, "tick", {"n": 1})
+        network.run()
+        assert a.log == [("timer", 5.0, "tick", 1)]
+
+    def test_cancelled_timer_never_fires(self):
+        network, a, b = build()
+        timer_id = network.set_timer("a", 5.0, "tick", {"n": 1})
+        network.cancel_timer(timer_id)
+        network.run()
+        assert a.log == []
+
+    def test_negative_delay_rejected(self):
+        network, a, b = build()
+        with pytest.raises(ValueError, match="non-negative"):
+            network.set_timer("a", -1.0, "tick")
+
+    def test_run_until_leaves_future_events_queued(self):
+        network, a, b = build()
+        network.set_timer("a", 1.0, "early")
+        network.set_timer("a", 50.0, "late")
+        network.run(until=10.0)
+        assert [entry[2] for entry in a.log] == ["early"]
+        assert not network.idle
+        network.run()
+        assert [entry[2] for entry in a.log] == ["early", "late"]
+
+
+class TestCrashSemantics:
+    def test_crashed_node_loses_messages_and_timers(self):
+        metrics = Metrics()
+        network, a, b = build(latency=LatencyModel(1.0, 0.0), metrics=metrics)
+        b.accepting_messages = False
+        b.accepting_timers = False
+        network.send("a", "b", "ping", {"n": 1})
+        network.set_timer("b", 2.0, "tick", {"n": 2})
+        network.run()
+        assert b.log == []
+        assert metrics.snapshot()["dist.net.dropped_at_node"] == 1
+
+    def test_recover_timer_survives_the_crash(self):
+        network, a, b = build()
+        b.accepting_messages = False
+        b.accepting_timers = False
+        network.set_timer("b", 3.0, "recover", {"n": 9})
+        network.run()
+        assert b.log == [("timer", 3.0, "recover", 9)]
+
+    def test_runaway_event_loop_raises(self):
+        network, a, b = build(latency=LatencyModel(1.0, 0.0))
+
+        class Ponger(Recorder):
+            def __init__(self, name, network):
+                super().__init__(name)
+                self.network = network
+
+            def on_message(self, now, message):
+                self.network.send(self.name, message.src, "pong", {})
+
+        p = network.register(Ponger("p", network))
+        q = network.register(Ponger("q", network))
+        network.send("p", "q", "pong", {})
+        with pytest.raises(RuntimeError, match="not converging"):
+            network.run(max_events=100)

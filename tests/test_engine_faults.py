@@ -1,0 +1,193 @@
+"""Tests for the fault-injection layer: specs, plans, replay contracts.
+
+Covers the engine-level :class:`FaultSpec`/:class:`FaultPlan` pair and
+the network-level :class:`NetworkFaultSpec`/:class:`NetworkFaultPlan`
+pair introduced with the distributed layer:
+
+* validation rejects out-of-range probabilities and negative times with
+  errors that name the offending field;
+* a plan's injection stream is a pure function of (spec seed,
+  consultation order) — rebuilt plans replay byte-identically;
+* partition drops are deterministic and consume no RNG draws, so a
+  partition window never perturbs the seeded loss/duplication stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.faults import (
+    ABORT_ACTION,
+    COMMIT_STAGE,
+    DROP_ACTION,
+    DUPLICATE_ACTION,
+    FaultPlan,
+    FaultSpec,
+    NetworkFaultPlan,
+    NetworkFaultSpec,
+    OPERATION_STAGE,
+    PartitionWindow,
+    STALL_ACTION,
+    network_plan_from,
+    plan_from,
+)
+
+
+class TestFaultSpecValidation:
+    @pytest.mark.parametrize(
+        "field", ["abort_probability", "stall_probability", "commit_stall_probability"]
+    )
+    @pytest.mark.parametrize("value", [-0.1, -1.0, 1.5, 2.0])
+    def test_out_of_range_probability_rejected(self, field, value):
+        with pytest.raises(ValueError) as excinfo:
+            FaultSpec(**{field: value})
+        assert field in str(excinfo.value)
+        assert "[0, 1]" in str(excinfo.value)
+
+    def test_negative_bias_multiplier_rejected(self):
+        with pytest.raises(ValueError, match="bias_multiplier"):
+            FaultSpec(bias_multiplier=-1.0)
+
+    def test_boundary_probabilities_accepted(self):
+        FaultSpec(abort_probability=0.0, stall_probability=1.0)
+        FaultSpec(commit_stall_probability=1.0)
+
+    def test_plan_from_none_is_none(self):
+        assert plan_from(None) is None
+        assert plan_from(FaultSpec()) is not None
+
+
+class TestFaultPlanDeterminism:
+    CONSULTS = [
+        (1, OPERATION_STAGE, "x"),
+        (2, COMMIT_STAGE, None),
+        (1, OPERATION_STAGE, "hot"),
+        (3, OPERATION_STAGE, "y"),
+        (2, COMMIT_STAGE, None),
+    ] * 20
+
+    def test_rebuilt_plan_replays_identically(self):
+        spec = FaultSpec(
+            abort_probability=0.2,
+            stall_probability=0.3,
+            commit_stall_probability=0.25,
+            biased_keys=frozenset({"hot"}),
+            seed=42,
+        )
+        first = FaultPlan(spec)
+        second = FaultPlan(spec)
+        actions_a = [first.intercept(*consult) for consult in self.CONSULTS]
+        actions_b = [second.intercept(*consult) for consult in self.CONSULTS]
+        assert actions_a == actions_b
+        assert [str(e) for e in first.events] == [str(e) for e in second.events]
+        assert any(a in (ABORT_ACTION, STALL_ACTION) for a in actions_a)
+
+    def test_max_injections_caps_but_keeps_consuming_draws(self):
+        spec = FaultSpec(abort_probability=1.0, max_injections=3, seed=0)
+        plan = FaultPlan(spec)
+        actions = [plan.intercept(i, OPERATION_STAGE, None) for i in range(10)]
+        assert actions[:3] == [ABORT_ACTION] * 3
+        assert actions[3:] == [None] * 7
+        assert plan.injections == 3
+
+
+class TestPartitionWindowValidation:
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PartitionWindow(-1.0, 5.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            PartitionWindow(0.0, -5.0)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError, match="start <= end"):
+            PartitionWindow(10.0, 5.0)
+
+    def test_severs_is_half_open_and_group_aware(self):
+        window = PartitionWindow(5.0, 10.0, frozenset({"a", "b"}))
+        # inside the window: isolated <-> outside is severed, both ways
+        assert window.severs("a", "c", 5.0)
+        assert window.severs("c", "a", 7.5)
+        # within the isolated group traffic still flows
+        assert not window.severs("a", "b", 7.5)
+        # outside the group entirely
+        assert not window.severs("c", "d", 7.5)
+        # half-open interval [start, end)
+        assert not window.severs("a", "c", 4.999)
+        assert not window.severs("a", "c", 10.0)
+
+
+class TestNetworkFaultSpecValidation:
+    @pytest.mark.parametrize("field", ["loss_probability", "duplicate_probability"])
+    @pytest.mark.parametrize("value", [-0.5, 1.1])
+    def test_out_of_range_probability_rejected(self, field, value):
+        with pytest.raises(ValueError) as excinfo:
+            NetworkFaultSpec(**{field: value})
+        assert field in str(excinfo.value)
+
+    def test_probability_sum_over_one_rejected(self):
+        with pytest.raises(ValueError, match="must not exceed 1"):
+            NetworkFaultSpec(loss_probability=0.6, duplicate_probability=0.6)
+
+    def test_network_plan_from_none_is_none(self):
+        assert network_plan_from(None) is None
+        assert network_plan_from(NetworkFaultSpec()) is not None
+
+
+class TestNetworkFaultPlanDeterminism:
+    SENDS = [
+        ("coordinator", "shard0", "prepare", 1.0),
+        ("shard0", "coordinator", "vote", 2.5),
+        ("coordinator", "shard1", "prepare", 1.0),
+        ("shard1", "coordinator", "vote", 3.0),
+        ("coordinator", "shard0", "decision", 4.0),
+    ] * 30
+
+    def test_rebuilt_plan_replays_identically(self):
+        spec = NetworkFaultSpec(
+            loss_probability=0.2, duplicate_probability=0.15, seed=7
+        )
+        first = NetworkFaultPlan(spec)
+        second = NetworkFaultPlan(spec)
+        actions_a = [first.intercept(*send) for send in self.SENDS]
+        actions_b = [second.intercept(*send) for send in self.SENDS]
+        assert actions_a == actions_b
+        assert [str(e) for e in first.events] == [str(e) for e in second.events]
+        assert DROP_ACTION in actions_a and DUPLICATE_ACTION in actions_a
+
+    def test_partition_drops_consume_no_randomness(self):
+        """A partition window must not shift the seeded loss stream."""
+        base = NetworkFaultSpec(loss_probability=0.3, seed=11)
+        windowed = NetworkFaultSpec(
+            loss_probability=0.3,
+            seed=11,
+            partitions=(PartitionWindow(0.0, 100.0, frozenset({"shard9"})),),
+        )
+        plain = NetworkFaultPlan(base)
+        partitioned = NetworkFaultPlan(windowed)
+        outcomes = []
+        for send in self.SENDS:
+            outcomes.append(plain.intercept(*send))
+            # interleave a partition-severed send: deterministic drop,
+            # no RNG draw, so the non-partitioned stream stays aligned
+            assert (
+                partitioned.intercept("coordinator", "shard9", "prepare", 1.0)
+                == DROP_ACTION
+            )
+            assert partitioned.intercept(*send) == outcomes[-1]
+
+    def test_max_injections_caps_seeded_faults_only(self):
+        spec = NetworkFaultSpec(
+            loss_probability=1.0,
+            max_injections=2,
+            seed=0,
+            partitions=(PartitionWindow(0.0, 10.0, frozenset({"iso"})),),
+        )
+        plan = NetworkFaultPlan(spec)
+        # a partition drop up front must not eat into the seeded cap
+        assert plan.intercept("a", "iso", "m", 0.0) == DROP_ACTION
+        assert plan.intercept("a", "b", "m", 0.0) == DROP_ACTION
+        assert plan.intercept("a", "b", "m", 0.0) == DROP_ACTION
+        assert plan.intercept("a", "b", "m", 0.0) is None
+        # partition drops keep firing past the cap — they are topology,
+        # not injected chance
+        assert plan.intercept("a", "iso", "m", 5.0) == DROP_ACTION

@@ -18,7 +18,7 @@ import pytest
 from repro.engine.faults import FaultPlan, FaultSpec
 from repro.engine.metrics import Metrics
 from repro.engine.operations import TransactionSpec, increment_op, update_op
-from repro.engine.parallel import ParallelShardRunner
+from repro.engine.parallel import ParallelShardRunner, ShardWorkerError
 from repro.engine.protocols.registry import PROTOCOL_ENTRIES
 from repro.engine.protocols.two_phase_locking import StrictTwoPhaseLocking
 from repro.engine.runtime import run_sharded_batch
@@ -154,6 +154,65 @@ class TestParallelShardRunner:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             ParallelShardRunner(workers=0)
+
+
+def _poison(reads):
+    """Module-level (hence picklable) transform that kills its worker."""
+    raise RuntimeError("poisoned op")
+
+
+class TestWorkerCrashRobustness:
+    """Satellite: a dying shard worker surfaces a typed, replayable error."""
+
+    def _poisoned_specs(self):
+        # healthy traffic on shard 0, one poisoned op on shard 1
+        _, specs = _partitioned(num_transactions=8, num_partitions=2)
+        healthy = [spec for spec in specs if spec.operations[0].key.startswith("p0:")]
+        return healthy + [TransactionSpec([update_op("p1:k0", _poison)], name="poison")]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_poisoned_op_raises_shard_worker_error(self, workers):
+        """Both the in-process path (workers=1) and the pooled path raise
+        the same typed error, carrying the shard index and derived seed
+        needed to replay the crash on that shard alone."""
+        initial, _ = _partitioned(num_partitions=2)
+        with pytest.raises(ShardWorkerError) as excinfo:
+            ParallelShardRunner(workers=workers).run(
+                StrictTwoPhaseLocking,
+                _store(initial, num_partitions=2),
+                self._poisoned_specs(),
+                seed=40,
+            )
+        error = excinfo.value
+        assert error.shard_index == 1
+        assert error.seed == 40 + 1  # the shard's derived engine seed
+        assert "RuntimeError: poisoned op" in error.message
+        assert "shard 1 worker failed (seed=41)" in str(error)
+
+    def test_error_survives_the_process_boundary(self):
+        """__reduce__ keeps the typed attributes through pickling — the
+        mechanism by which the pooled path re-raises it intact."""
+        original = ShardWorkerError(3, 17, "KeyError: 'gone'")
+        restored = pickle.loads(pickle.dumps(original))
+        assert isinstance(restored, ShardWorkerError)
+        assert restored.shard_index == 3
+        assert restored.seed == 17
+        assert restored.message == "KeyError: 'gone'"
+        assert str(restored) == str(original)
+
+    def test_healthy_shards_unaffected_without_poison(self):
+        """The same workload minus the poisoned spec runs clean — the
+        failure is attributable to the op, not the harness."""
+        initial, _ = _partitioned(num_partitions=2)
+        specs = [
+            spec
+            for spec in self._poisoned_specs()
+            if spec.name != "poison"
+        ]
+        result = ParallelShardRunner(workers=2).run(
+            StrictTwoPhaseLocking, _store(initial, num_partitions=2), specs, seed=40
+        )
+        assert result.committed == len(specs)
 
 
 class TestShardedFaultInjection:

@@ -1,0 +1,201 @@
+"""The distributed chaos harness: scenarios, oracles, cells, CLI.
+
+Everything above :mod:`repro.dist` itself — the seeded
+cross-shard-transfer scenario builder, the five distributed oracles,
+the run-twice replay-pinning cell runner, and the ``--dist`` CLI entry
+the chaos-soak CI job drives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.dist.recovery import CRASH_POINTS
+from repro.harness.__main__ import main as harness_main
+from repro.harness.oracles import evaluate_dist_run
+from repro.harness.runner import DistCellOutcome, run_dist_cell, run_dist_seeds
+from repro.harness.scenarios import DIST_PLANS, build_dist_scenario
+
+
+class TestDistScenarioBuilder:
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ValueError, match="plan"):
+            build_dist_scenario(0, plan="gamma-rays")
+
+    @pytest.mark.parametrize("plan", DIST_PLANS)
+    def test_rebuild_is_identical(self, plan):
+        a = build_dist_scenario(5, plan=plan, quick=True)
+        b = build_dist_scenario(5, plan=plan, quick=True)
+        assert a.initial_data == b.initial_data
+        assert [spec.name for spec in a.specs] == [spec.name for spec in b.specs]
+        assert a.network_faults == b.network_faults
+        assert a.crash_specs == b.crash_specs
+
+    def test_plans_carry_their_chaos(self):
+        none = build_dist_scenario(2, plan="none", quick=True)
+        assert none.network_faults is None and none.crash_specs == ()
+        loss = build_dist_scenario(2, plan="loss", quick=True)
+        assert loss.network_faults is not None
+        assert loss.network_faults.loss_probability > 0
+        crash = build_dist_scenario(2, plan="crash", quick=True)
+        assert crash.crash_specs
+        for spec in crash.crash_specs:
+            assert spec.transition in CRASH_POINTS
+
+    def test_seeds_vary_the_topology(self):
+        shapes = {
+            build_dist_scenario(seed, quick=False).num_shards for seed in range(12)
+        }
+        assert len(shapes) > 1
+
+    def test_quick_shrinks_the_batch(self):
+        quick = build_dist_scenario(1, quick=True)
+        full = build_dist_scenario(1, quick=False)
+        assert len(quick.specs) <= len(full.specs)
+
+    def test_specs_actually_cross_shards(self):
+        scenario = build_dist_scenario(3, quick=True)
+        prefixes_per_spec = [
+            {op.key.split(":", 1)[0] for op in spec.operations}
+            for spec in scenario.specs
+        ]
+        assert any(len(prefixes) > 1 for prefixes in prefixes_per_spec)
+
+    def test_describe_names_the_chaos(self):
+        text = build_dist_scenario(0, plan="crash", quick=True).describe()
+        assert "plan=crash" in text and "CrashSpec" in text
+
+
+class TestDistOracles:
+    def _clean_cell(self):
+        from repro.harness.runner import _run_dist_scenario
+
+        scenario = build_dist_scenario(0, plan="none", quick=True)
+        return scenario, _run_dist_scenario(scenario)
+
+    def test_clean_run_passes_all_five(self):
+        scenario, report = self._clean_cell()
+        verdicts = evaluate_dist_run(scenario, report)
+        assert [v.oracle for v in verdicts] == [
+            "dist-conservation",
+            "dist-atomicity",
+            "dist-replay",
+            "dist-locks",
+            "dist-taxonomy",
+        ]
+        assert all(v.ok and v.required for v in verdicts)
+
+    def test_conservation_catches_minted_money(self):
+        scenario, report = self._clean_cell()
+        key = next(iter(report.final_snapshot))
+        report.final_snapshot[key] += 1
+        verdicts = {v.oracle: v for v in evaluate_dist_run(scenario, report)}
+        assert not verdicts["dist-conservation"].ok
+        assert "sum(balances)" in verdicts["dist-conservation"].detail
+
+    def test_replay_catches_divergent_state(self):
+        # conserve the total but swap two balances: conservation stays
+        # green while the log replay no longer reproduces the snapshot
+        scenario, report = self._clean_cell()
+        keys = sorted(report.final_snapshot)
+        a, b = keys[0], keys[-1]
+        report.final_snapshot[a], report.final_snapshot[b] = (
+            report.final_snapshot[b] + 1,
+            report.final_snapshot[a] - 1,
+        )
+        verdicts = {v.oracle: v for v in evaluate_dist_run(scenario, report)}
+        assert verdicts["dist-conservation"].ok
+        assert not verdicts["dist-replay"].ok
+
+    def test_atomicity_catches_a_partially_applied_commit(self):
+        scenario, report = self._clean_cell()
+        committed_ids = [txn_id for txn_id, _writes in report.committed]
+        assert committed_ids
+        victim = committed_ids[0]
+        # erase the apply record on one shard that holds the txn
+        for participant in report.participants.values():
+            if victim in participant.applied:
+                participant.applied.discard(victim)
+                break
+        verdicts = {v.oracle: v for v in evaluate_dist_run(scenario, report)}
+        assert not verdicts["dist-atomicity"].ok
+        assert "never applied" in verdicts["dist-atomicity"].detail
+
+    def test_locks_catch_an_orphan(self):
+        scenario, report = self._clean_cell()
+        participant = next(iter(report.participants.values()))
+        participant.locks["s0:phantom"] = 999
+        verdicts = {v.oracle: v for v in evaluate_dist_run(scenario, report)}
+        assert not verdicts["dist-locks"].ok
+
+    def test_taxonomy_catches_an_uncoded_abort(self):
+        scenario, report = self._clean_cell()
+        from repro.dist.engine import AttemptRecord
+
+        report.attempts[0].append(
+            AttemptRecord(0, 9, None, "abort", "mystery-code", "???")
+        )
+        verdicts = {v.oracle: v for v in evaluate_dist_run(scenario, report)}
+        assert not verdicts["dist-taxonomy"].ok
+        assert "mystery-code" in verdicts["dist-taxonomy"].detail
+
+
+class TestDistCells:
+    @pytest.mark.parametrize("plan", DIST_PLANS)
+    def test_quick_cells_conform(self, plan):
+        outcome = run_dist_cell(build_dist_scenario(0, plan=plan, quick=True))
+        assert outcome.ok, outcome.violations
+        assert outcome.replay_ok
+        assert outcome.committed > 0
+
+    def test_crash_cells_actually_crash(self):
+        outcome = run_dist_cell(build_dist_scenario(0, plan="crash", quick=True))
+        assert outcome.crashes >= 1
+
+    def test_violations_property_filters_required_failures(self):
+        outcome = run_dist_cell(build_dist_scenario(1, plan="none", quick=True))
+        assert outcome.violations == ()
+        broken = dataclasses.replace(outcome, replay_ok=False)
+        assert not broken.ok and broken.violations == ()
+
+    def test_seed_sweep_reports_and_summaries(self):
+        reports = run_dist_seeds([0, 1], quick=True)
+        assert len(reports) == 2
+        for report in reports:
+            assert report.ok
+            assert len(report.outcomes) == len(DIST_PLANS)
+            assert f"dist seed {report.seed}" in report.summary()
+            assert report.summary().endswith("ok")
+
+    def test_plan_filter_restricts_the_matrix(self):
+        [report] = run_dist_seeds([3], plans=("loss",), quick=True)
+        assert [outcome.plan for _s, outcome in report.outcomes] == ["loss"]
+
+    def test_render_failures_names_the_replay_command(self):
+        [report] = run_dist_seeds([4], plans=("crash",), quick=True)
+        scenario, outcome = report.outcomes[0]
+        report.outcomes[0] = (scenario, dataclasses.replace(outcome, replay_ok=False))
+        text = report.render_failures()
+        assert "replay mismatch" in text
+        assert "python -m repro.harness --dist --seed 4 --plan crash" in text
+
+
+class TestDistCLI:
+    def test_dist_sweep_invocation(self, capsys):
+        code = harness_main(["--dist", "--seed", "0..1", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all conforming" in out
+        assert "dist seed 0" in out and "dist seed 1" in out
+
+    def test_plan_pin_and_report_file(self, tmp_path, capsys):
+        path = tmp_path / "dist-report.txt"
+        code = harness_main(
+            ["--dist", "--seed", "2", "--plan", "crash", "--quick",
+             "--report", str(path)]
+        )
+        assert code == 0
+        assert "all conforming" in path.read_text()
+        assert "crash:" in capsys.readouterr().out
