@@ -1,0 +1,233 @@
+"""E18 — deterministic execution vs reactive protocols at the hotspot.
+
+The ISSUE-9 tentpole bench: the Calvin-style deterministic family
+(``det-epoch``, ``det-slot``) against the reactive poles — strict 2PL
+(pessimistic queueing) and parallel-validation OCC (optimistic
+restarts) — on the 1,000-client single-key hotspot queue from E16,
+with an **equal retry budget** for every protocol.
+
+The paper's spectrum, measured at its extremes: the deterministic
+scheduler knows every footprint up front, so it commits the entire
+batch with *zero* aborts and *zero* restarts — conflicts are resolved
+by the pre-assigned epoch order, never discovered.  Strict 2PL also
+commits everything (the workload is deadlock-free by construction) but
+discovers the queue lock by lock.  OCC pays for the same information
+deficit in restarts: at a 90% hotspot its validation keeps failing and
+most transactions exhaust the retry budget.
+
+Asserted:
+
+* both deterministic variants and strict 2PL commit all
+  ``NUM_CLIENTS`` transactions with zero restarts and serializable
+  histories;
+* the deterministic variants issue **zero protocol aborts** and commit
+  in exactly epoch (sequence) order — the determinism claim;
+* ``occ-parallel`` exhausts the shared retry budget on some
+  transactions (``gave_up > 0``) — the contrast that motivates
+  deterministic execution at write hotspots;
+* ``det-slot`` (pipelined) never blocks more than ``det-epoch``
+  (barriered) and reaches the identical final store — epoch overlap
+  changes waiting, never outcomes.
+
+The measured walls land in ``BENCH_det.json`` via ``det_json_path()``
+(see ``_bench_env``): an explicit ``REPRO_BENCH_DET_JSON`` always wins,
+refreshing the committed copy is opt-in via ``REPRO_BENCH_COMMIT=1``,
+and a plain ``pytest`` run writes nothing.
+"""
+
+import os
+import time
+
+from repro.analysis.reporting import format_table
+from repro.engine.metrics import NullMetrics
+from repro.engine.protocols.registry import PROTOCOL_ENTRIES
+from repro.engine.runtime import run_batch
+from repro.engine.storage import DataStore
+from repro.engine.workloads import epoch_batched_workload, hotspot_queue_workload
+
+from _bench_env import QUICK, det_json_path, update_bench_json
+
+NUM_CLIENTS = 200 if QUICK else 1000
+OPS_PER_TXN = 48 if QUICK else 224
+NUM_HOT = 4
+#: one retry budget for every protocol: deterministic and 2PL need a
+#: single attempt; OCC spends the budget on validation restarts
+MAX_ATTEMPTS = 12
+
+PROTOCOLS = ("det-epoch", "det-slot", "strict-2pl", "occ-parallel")
+DETERMINISTIC = ("det-epoch", "det-slot")
+
+
+def _run(name, initial, specs):
+    store = DataStore(initial)
+    captured = {}
+
+    def factory(s, entry=PROTOCOL_ENTRIES[name]):
+        captured["protocol"] = entry.factory(s)
+        return captured["protocol"]
+
+    started = time.perf_counter()
+    result = run_batch(
+        factory,
+        store,
+        specs,
+        interleaving="round-robin",
+        seed=7,
+        max_attempts=MAX_ATTEMPTS,
+        metrics=NullMetrics(),
+    )
+    return captured["protocol"], result, time.perf_counter() - started
+
+
+def test_deterministic_commits_where_occ_thrashes(benchmark):
+    initial, specs = hotspot_queue_workload(
+        num_transactions=NUM_CLIENTS,
+        ops_per_transaction=OPS_PER_TXN,
+        num_hot=NUM_HOT,
+        hotspot_probability=0.9,
+        zipf_theta=0.8,
+        seed=7,
+    )
+
+    def run_all():
+        # sequential on purpose: the runs must not compete for cores
+        return {name: _run(name, initial, specs) for name in PROTOCOLS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    modes = {}
+    for name, (protocol, result, wall) in results.items():
+        rows.append(
+            (
+                name,
+                result.committed,
+                result.gave_up,
+                result.restarts,
+                result.blocks,
+                "yes" if result.committed_serializable else "NO",
+                f"{wall:.2f}s",
+            )
+        )
+        modes[name] = {
+            "committed": result.committed,
+            "gave_up": result.gave_up,
+            "restarts": result.restarts,
+            "blocks": result.blocks,
+            "protocol_aborts": protocol.stats["aborts"],
+            "serializable": result.committed_serializable,
+            "wall_clock_seconds": round(wall, 3),
+        }
+
+    print()
+    print(
+        f"[E18] hotspot queue, {NUM_CLIENTS} clients x {OPS_PER_TXN} writes, "
+        f"{NUM_HOT} hot keys, retry budget {MAX_ATTEMPTS}, round-robin"
+        + (" [quick mode]" if QUICK else "")
+    )
+    print(
+        format_table(
+            ["protocol", "committed", "gave_up", "restarts", "blocks", "serializable", "wall"],
+            rows,
+        )
+    )
+
+    update_bench_json(
+        det_json_path(),
+        "det_vs_lock_vs_occ",
+        {
+            "benchmark": "E18-det",
+            "quick": QUICK,
+            "num_clients": NUM_CLIENTS,
+            "ops_per_transaction": OPS_PER_TXN,
+            "num_hot_keys": NUM_HOT,
+            "max_attempts": MAX_ATTEMPTS,
+            "interleaving": "round-robin",
+            "modes": modes,
+        },
+        cpu_count=os.cpu_count(),
+    )
+
+    for name in PROTOCOLS:
+        _, result, _ = results[name]
+        assert result.committed_serializable, name
+
+    # full-information scheduling and pessimistic queueing both finish
+    # the batch in one attempt per transaction
+    for name in DETERMINISTIC + ("strict-2pl",):
+        _, result, _ = results[name]
+        assert result.committed == NUM_CLIENTS, name
+        assert result.restarts == 0, name
+        assert result.gave_up == 0, name
+
+    # the determinism claim: zero protocol aborts, commits in epoch order
+    for name in DETERMINISTIC:
+        protocol, result, _ = results[name]
+        assert result.aborted_attempts == 0, name
+        assert protocol.stats["aborts"] == 0, name
+        assert protocol.recon_aborts == 0, name
+        order = sorted(protocol.commit_positions.items(), key=lambda kv: kv[1])
+        seqs = [protocol.sequencer.tickets[txn].seq for txn, _ in order]
+        assert seqs == sorted(seqs), name
+
+    # the contrast: at a 90% write hotspot OCC's validation keeps
+    # discovering the conflicts the sequencer would have pre-resolved,
+    # and part of the batch exhausts the shared retry budget
+    _, occ_result, _ = results["occ-parallel"]
+    assert occ_result.restarts > NUM_CLIENTS, occ_result.restarts
+    assert occ_result.gave_up > 0
+    assert occ_result.committed < NUM_CLIENTS
+
+    # pipelining must not change behaviour, only waiting
+    epoch_protocol, epoch_result, _ = results["det-epoch"]
+    slot_protocol, slot_result, _ = results["det-slot"]
+    assert slot_result.blocks <= epoch_result.blocks
+    assert slot_protocol.store.snapshot() == epoch_protocol.store.snapshot()
+
+
+def test_epoch_pipelining_on_batched_mix(benchmark):
+    """``det-slot`` vs ``det-epoch`` on the epoch-shaped zipfian mix:
+    same committed state, strictly less waiting without the barrier."""
+    epoch_size = 8
+    initial, specs = epoch_batched_workload(
+        num_epochs=NUM_CLIENTS // epoch_size,
+        epoch_size=epoch_size,
+        ops_per_transaction=6,
+        num_keys=32,
+        read_fraction=0.5,
+        zipf_theta=0.8,
+        seed=7,
+    )
+
+    def run_pair():
+        return {name: _run(name, initial, specs) for name in DETERMINISTIC}
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    section = {
+        "benchmark": "E18-pipelining",
+        "quick": QUICK,
+        "num_transactions": len(specs),
+        "epoch_size": epoch_size,
+        "modes": {},
+    }
+    for name, (protocol, result, wall) in results.items():
+        assert result.committed == len(specs), name
+        assert protocol.stats["aborts"] == 0, name
+        section["modes"][name] = {
+            "committed": result.committed,
+            "blocks": result.blocks,
+            "epochs_drained": protocol.sequencer.drained_epochs,
+            "wall_clock_seconds": round(wall, 3),
+        }
+
+    epoch_protocol, epoch_result, _ = results["det-epoch"]
+    slot_protocol, slot_result, _ = results["det-slot"]
+    print(
+        f"\n[E18] pipelining: det-epoch {epoch_result.blocks} blocks vs "
+        f"det-slot {slot_result.blocks} blocks over {len(specs)} txns"
+    )
+    assert slot_result.blocks <= epoch_result.blocks
+    assert slot_protocol.store.snapshot() == epoch_protocol.store.snapshot()
+
+    update_bench_json(det_json_path(), "epoch_pipelining", section)

@@ -1,0 +1,134 @@
+"""Unit tests for the shared bench-environment path rules.
+
+These pin the regression from ISSUE 9: ``sched_json_path()`` used to
+return the committed ``BENCH_sched.json`` on every full-scale run, so
+the tier-1 suite (which includes this directory) rewrote a committed
+file with this machine's wall clocks and left the work tree dirty.
+The rule is now three-tier and identical for every summary file:
+
+1. the explicit per-file environment variable always wins;
+2. else the committed path, only under ``REPRO_BENCH_COMMIT=1`` and
+   only at full scale;
+3. else ``None`` (write nothing).
+
+Plus the corrupt-file behaviour of ``update_bench_json``: a summary
+file that no longer parses is preserved at ``<path>.bak`` and the
+error propagates, instead of silently restarting from ``{}`` and
+discarding the other modules' sections.
+"""
+
+import json
+import os
+
+import pytest
+
+import _bench_env
+from _bench_env import (
+    det_json_path,
+    occ_json_path,
+    sched_json_path,
+    update_bench_json,
+)
+
+PATH_FUNCS = {
+    "REPRO_BENCH_SCHED_JSON": (sched_json_path, "BENCH_sched.json"),
+    "REPRO_BENCH_OCC_JSON": (occ_json_path, "BENCH_occ.json"),
+    "REPRO_BENCH_DET_JSON": (det_json_path, "BENCH_det.json"),
+}
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    """Run every test from the no-env-vars baseline, at full scale."""
+    for var in list(PATH_FUNCS) + ["REPRO_BENCH_COMMIT"]:
+        monkeypatch.delenv(var, raising=False)
+    monkeypatch.setattr(_bench_env, "QUICK", False)
+
+
+@pytest.mark.parametrize("env_var", sorted(PATH_FUNCS))
+def test_default_writes_nowhere(env_var):
+    # the tier-1 invariant: a plain pytest run must not touch committed
+    # bench summaries, so without any opt-in the path is None
+    func, _ = PATH_FUNCS[env_var]
+    assert func() is None
+
+
+@pytest.mark.parametrize("env_var", sorted(PATH_FUNCS))
+def test_commit_opt_in_yields_committed_path(monkeypatch, env_var):
+    monkeypatch.setenv("REPRO_BENCH_COMMIT", "1")
+    func, filename = PATH_FUNCS[env_var]
+    path = func()
+    assert path is not None
+    assert os.path.basename(path) == filename
+    assert os.path.dirname(os.path.abspath(path)) == os.path.dirname(
+        os.path.abspath(_bench_env.__file__)
+    )
+
+
+@pytest.mark.parametrize("env_var", sorted(PATH_FUNCS))
+def test_commit_zero_is_not_an_opt_in(monkeypatch, env_var):
+    monkeypatch.setenv("REPRO_BENCH_COMMIT", "0")
+    func, _ = PATH_FUNCS[env_var]
+    assert func() is None
+
+
+@pytest.mark.parametrize("env_var", sorted(PATH_FUNCS))
+def test_quick_mode_never_touches_the_committed_file(monkeypatch, env_var):
+    # quick numbers must not shrink the committed headline bars, even
+    # when the caller asked to commit
+    monkeypatch.setattr(_bench_env, "QUICK", True)
+    monkeypatch.setenv("REPRO_BENCH_COMMIT", "1")
+    func, _ = PATH_FUNCS[env_var]
+    assert func() is None
+
+
+@pytest.mark.parametrize("env_var", sorted(PATH_FUNCS))
+def test_explicit_env_path_always_wins(monkeypatch, tmp_path, env_var):
+    target = str(tmp_path / "artifact.json")
+    func, _ = PATH_FUNCS[env_var]
+    # wins over the default...
+    monkeypatch.setenv(env_var, target)
+    assert func() == target
+    # ...over the commit opt-in...
+    monkeypatch.setenv("REPRO_BENCH_COMMIT", "1")
+    assert func() == target
+    # ...and in quick mode (the CI smoke job relies on this)
+    monkeypatch.setattr(_bench_env, "QUICK", True)
+    assert func() == target
+
+
+def test_env_is_read_at_call_time(monkeypatch, tmp_path):
+    # a CI step may export the variable after this module was imported
+    assert sched_json_path() is None
+    target = str(tmp_path / "late.json")
+    monkeypatch.setenv("REPRO_BENCH_SCHED_JSON", target)
+    assert sched_json_path() == target
+
+
+def test_update_bench_json_none_path_is_a_no_op(tmp_path):
+    update_bench_json(None, "section", {"x": 1})
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_update_bench_json_merges_sections(tmp_path):
+    path = str(tmp_path / "BENCH.json")
+    update_bench_json(path, "alpha", {"x": 1}, cpu_count=8)
+    update_bench_json(path, "beta", {"y": 2})
+    with open(path) as handle:
+        summary = json.load(handle)
+    # the second module's write must not discard the first's section
+    assert summary == {"alpha": {"x": 1}, "beta": {"y": 2}, "cpu_count": 8}
+
+
+def test_update_bench_json_refuses_to_overwrite_corrupt_file(tmp_path):
+    path = str(tmp_path / "BENCH.json")
+    corrupt = "{not json"
+    with open(path, "w") as handle:
+        handle.write(corrupt)
+    with pytest.raises(ValueError, match="corrupt bench summary"):
+        update_bench_json(path, "alpha", {"x": 1})
+    # the corrupt original survives twice over: in place and as .bak
+    with open(path) as handle:
+        assert handle.read() == corrupt
+    with open(path + ".bak") as handle:
+        assert handle.read() == corrupt

@@ -20,15 +20,14 @@ Asserted (on seed-deterministic committed counts, not wall-clock):
   validation commits; in quick mode (``REPRO_BENCH_QUICK=1``, the CI
   job) the bar is "no regression": parallel >= serial.
 
-The run summary is written to ``BENCH_occ.json`` so the perf trajectory
-is committed alongside the code.  Quick-mode runs only write when
-``REPRO_BENCH_OCC_JSON`` names a path (the CI job does, to upload it as
-an artifact) — otherwise a casual ``REPRO_BENCH_QUICK=1`` run would
-silently overwrite the committed full-scale summary with quick numbers.
+The run summary goes to ``occ_json_path()`` (see ``_bench_env``): an
+explicit ``REPRO_BENCH_OCC_JSON`` path always wins (the CI job sets one
+to upload as an artifact); refreshing the committed ``BENCH_occ.json``
+is opt-in via ``REPRO_BENCH_COMMIT=1`` so a plain full-scale ``pytest``
+run leaves the work tree clean; otherwise nothing is written.
 """
 
 import json
-import os
 import time
 
 from repro.analysis.reporting import format_table
@@ -36,21 +35,13 @@ from repro.engine.simulator import SimulationConfig, Simulator
 from repro.engine.storage import DataStore
 from repro.engine.workloads import WorkloadConfig, zipfian_hotspot_generator
 
-from _bench_env import NUM_CLIENTS, QUICK
+from _bench_env import NUM_CLIENTS, QUICK, occ_json_path
 
 DURATION = 80.0 if QUICK else 300.0
 
 WORKLOAD = WorkloadConfig(num_keys=64, read_fraction=0.6, hotspot_probability=0.75)
 
 MODES = ("occ", "occ-parallel")
-
-_ENV_JSON_PATH = os.environ.get("REPRO_BENCH_OCC_JSON", "")
-if _ENV_JSON_PATH:
-    JSON_PATH = _ENV_JSON_PATH
-elif not QUICK:
-    JSON_PATH = os.path.join(os.path.dirname(__file__), "BENCH_occ.json")
-else:
-    JSON_PATH = None  # quick mode without an explicit path: don't write
 
 
 def _run(protocol_factory):
@@ -161,13 +152,14 @@ def test_parallel_validation_beats_serial_at_scale(benchmark, protocol_registry)
         else float("inf")
     )
     summary["parallel_over_serial"] = round(ratio, 3)
-    if JSON_PATH:
-        with open(JSON_PATH, "w") as handle:
+    json_path = occ_json_path()
+    if json_path:
+        with open(json_path, "w") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
     print(
         f"parallel/serial committed ratio: {ratio:.2f}x"
-        + (f" -> {JSON_PATH}" if JSON_PATH else "")
+        + (f" -> {json_path}" if json_path else "")
     )
 
     # CI bar: parallel validation must never regress below serial; the

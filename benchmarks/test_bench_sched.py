@@ -31,8 +31,11 @@ Asserted:
 The measured walls land in the ``run_queue_vs_round_scan`` section of
 ``BENCH_sched.json`` (shared with the shard-parallel bench).  Unlike
 ``BENCH_occ.json`` this file necessarily records wall-clock — that is
-the quantity under test — so re-running the full bench rewrites it
-with this machine's numbers; ``cpu_count`` is recorded alongside.
+the quantity under test — so its numbers differ every run.  For that
+reason refreshing the committed copy is opt-in: set
+``REPRO_BENCH_COMMIT=1`` (full scale only) to rewrite it with this
+machine's numbers (``cpu_count`` is recorded alongside); a plain
+``pytest`` run writes nothing and leaves the work tree clean.
 """
 
 import os

@@ -388,6 +388,9 @@ class EngineKernel:
         self.fault_plan = fault_plan
         self.tracer = NULL_TRACER if tracer is None else tracer
         self._tracing = self.tracer.enabled
+        #: cached once, like ``_tracing``: deterministic protocols get
+        #: their footprint declared at begin and epoch-tagged traces
+        self._deterministic = protocol.deterministic
         self._attached = False
         self.attach()
 
@@ -480,12 +483,25 @@ class EngineKernel:
                     return StepResult(StepKind.STARTED)
             self._session_by_txn[session.txn_id] = session
             self.protocol.begin(session.txn_id)
+            meta = None
+            if self._deterministic:
+                # the epoch boundary: the sequencer admits the declared
+                # footprint *here*, before any data request, fixing the
+                # transaction's place in the deterministic total order
+                ticket = self.protocol.declare_footprint(
+                    session.txn_id,
+                    session.spec.read_set(),
+                    session.spec.write_set(),
+                )
+                if self._tracing:
+                    meta = {"epoch": ticket.epoch, "slot": ticket.slot}
             if self._tracing:
                 self.tracer.emit(
                     obs_trace.BEGIN,
                     session.session_id,
                     session.txn_id,
                     session.attempts,
+                    meta=meta,
                 )
             return StepResult(StepKind.STARTED)
 
@@ -556,12 +572,19 @@ class EngineKernel:
                 if self.commit_sink is not None:
                     self.commit_sink(session)
                 if self._tracing:
+                    meta = {"probes": probes} if probes else None
+                    if self._deterministic:
+                        ticket = self.protocol.ticket_of(txn_id)
+                        if ticket is not None:
+                            meta = dict(meta or {})
+                            meta["epoch"] = ticket.epoch
+                            meta["slot"] = ticket.slot
                     self.tracer.emit(
                         obs_trace.COMMIT,
                         session.session_id,
                         txn_id,
                         session.attempts,
-                        meta={"probes": probes} if probes else None,
+                        meta=meta,
                     )
                 return StepResult(
                     StepKind.COMMITTED,

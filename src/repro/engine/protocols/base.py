@@ -239,6 +239,12 @@ class ConcurrencyControl(abc.ABC):
     #: :meth:`commit` on the following interaction.  Kept as a cheap class
     #: flag so single-stage protocols pay nothing on the commit hot path.
     two_stage_commit = False
+    #: True for deterministic (epoch-sequenced) protocols: the kernel
+    #: then calls :meth:`declare_footprint` with the spec's read/write
+    #: sets right after :meth:`begin`, and tags begin/commit trace
+    #: events with the assigned epoch and slot.  A class flag for the
+    #: same hot-path reason as ``two_stage_commit``.
+    deterministic = False
 
     def __init__(self, store: DataStore, metrics: Optional[Metrics] = None) -> None:
         self.store = store
@@ -336,6 +342,20 @@ class ConcurrencyControl(abc.ABC):
         self.active.add(txn_id)
         self.write_buffers[txn_id] = {}
         self.on_begin(txn_id)
+
+    def declare_footprint(self, txn_id: int, reads, writes):
+        """Declare an active transaction's read/write footprint up front.
+
+        Only deterministic protocols (``deterministic = True``) accept a
+        declaration: the epoch sequencer admits the transaction into
+        the fixed total order and returns its ticket.  Reactive
+        protocols learn footprints one request at a time and must not
+        be handed one.
+        """
+        raise NotImplementedError(
+            f"{self.name} is not a deterministic protocol: footprints are "
+            "discovered per-request, not declared"
+        )
 
     def read(self, txn_id: int, key: str) -> Decision:
         """Request to read ``key``."""

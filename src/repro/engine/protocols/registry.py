@@ -26,6 +26,10 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Tuple
 
 from repro.engine.protocols.base import ConcurrencyControl, SerialProtocol
+from repro.engine.protocols.deterministic import (
+    DeterministicEpoch,
+    DeterministicSlotted,
+)
 from repro.engine.protocols.mvto import MultiVersionTimestampOrdering
 from repro.engine.protocols.occ import OptimisticConcurrencyControl
 from repro.engine.protocols.sgt import SerializationGraphTesting
@@ -84,6 +88,12 @@ PROTOCOL_ENTRIES: Dict[str, ProtocolEntry] = _entries(
     ProtocolEntry("mvto", MultiVersionTimestampOrdering, ONE_COPY_SERIALIZABLE, multiversion=True),
     ProtocolEntry("si", SnapshotIsolation, SNAPSHOT_ISOLATION, multiversion=True),
     ProtocolEntry("serializable-si", _serializable_si, ONE_COPY_SERIALIZABLE, multiversion=True),
+    # deterministic (Calvin-style) family: registered entries are judged
+    # by the standard serializable oracles PLUS the deterministic oracle
+    # (commit order == epoch order, zero protocol-issued aborts) keyed
+    # off their ``deterministic`` class flag
+    ProtocolEntry("det-epoch", DeterministicEpoch, SERIALIZABLE),
+    ProtocolEntry("det-slot", DeterministicSlotted, SERIALIZABLE),
 )
 
 #: plain name -> factory view (what the benchmarks historically used)

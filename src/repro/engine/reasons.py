@@ -69,6 +69,17 @@ ABORT_SSI_FASTPATH_PIVOT = "ssi-fastpath-pivot"
 #: timestamp above the writer's
 ABORT_MVTO_READ_INVALIDATION = "mvto-read-invalidation"
 
+# --- deterministic epoch scheduling (Calvin-style) -----------------------
+#: deterministic: a data operation touched a key outside the declared
+#: read/write footprint — the attempt aborts and restarts as a
+#: low-priority "reconnaissance" re-submission whose fresh ticket (and
+#: now-known footprint) lands at the tail of the sequence order
+ABORT_DET_RECON = "det-epoch-recon"
+#: deterministic: a data operation arrived before the transaction
+#: declared any footprint at all (the sequencer never admitted it, so
+#: it holds no place in the epoch order to be granted in)
+ABORT_DET_UNDECLARED = "det-epoch-undeclared"
+
 # --- engine-level -------------------------------------------------------
 #: the deterministic fault injector forced this attempt to abort
 ABORT_FAULT_INJECTED = "fault-injected"
@@ -102,6 +113,8 @@ ABORT_REASONS: Dict[str, str] = {
     ABORT_SSI_PIVOT: "SSI dangerous structure at commit",
     ABORT_SSI_FASTPATH_PIVOT: "SSI read-only fast path raced a committed pivot",
     ABORT_MVTO_READ_INVALIDATION: "MVTO superseded version already read later",
+    ABORT_DET_RECON: "deterministic footprint under-declared (reconnaissance restart)",
+    ABORT_DET_UNDECLARED: "deterministic data access before footprint declaration",
     ABORT_FAULT_INJECTED: "deterministic fault injection",
     ABORT_TPC_TIMEOUT: "2PC retry budget exhausted waiting on a shard",
     ABORT_TPC_COORDINATOR_CRASH: "2PC coordinator crashed pre-decision (presumed abort)",

@@ -314,6 +314,50 @@ def hotspot_queue_workload(
     return initial, specs
 
 
+def epoch_batched_workload(
+    num_epochs: int = 8,
+    epoch_size: int = 8,
+    ops_per_transaction: int = 6,
+    num_keys: int = 32,
+    read_fraction: float = 0.5,
+    zipf_theta: float = 0.8,
+    seed: int = 0,
+) -> Tuple[Dict[str, int], List[TransactionSpec]]:
+    """Epoch-shaped batches for the deterministic (Calvin-style) family.
+
+    ``num_epochs * epoch_size`` mixed read/write transactions over a
+    zipfian key popularity, emitted in admission order and named
+    ``e{epoch}s{slot}`` so traces and digests read directly against the
+    sequencer's epoch/slot assignment (admission order *is* list
+    order when the batch is run round-robin).  The zipfian skew makes
+    cross-transaction key overlap common, which is the regime where the
+    deterministic variants differ: ``det-epoch`` drains each batch of
+    ``epoch_size`` behind its barrier while ``det-slot`` pipelines the
+    same order across epoch boundaries.
+    """
+    if num_epochs < 1 or epoch_size < 1:
+        raise ValueError("num_epochs and epoch_size must be at least 1")
+    if ops_per_transaction < 1:
+        raise ValueError("ops_per_transaction must be at least 1")
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError("read_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    keys = [f"k{i}" for i in range(num_keys)]
+    choose = _zipf_chooser(keys, zipf_theta)
+    specs: List[TransactionSpec] = []
+    for epoch in range(num_epochs):
+        for slot in range(epoch_size):
+            ops = []
+            for j in range(ops_per_transaction):
+                key = choose(rng)
+                if rng.random() < read_fraction:
+                    ops.append(read_op(key))
+                else:
+                    ops.append(write_op(key, epoch * epoch_size + slot + j))
+            specs.append(TransactionSpec(ops, name=f"e{epoch}s{slot}"))
+    return {key: 0 for key in keys}, specs
+
+
 def read_mostly_generator(
     config: Optional[WorkloadConfig] = None,
     read_fraction: float = 0.9,

@@ -241,8 +241,57 @@ def evaluate_run(
                 detail="" if mvsg_ok else _mvsg_detail(history),
             )
         )
+    if getattr(protocol, "deterministic", False):
+        verdicts.extend(deterministic_verdicts(protocol))
     verdicts.extend(invariant_verdicts(scenario, ctx, guarantee))
     return verdicts
+
+
+def deterministic_verdicts(protocol: ConcurrencyControl) -> List[OracleVerdict]:
+    """The deterministic-protocol oracles (Calvin-style epoch scheduling).
+
+    Two properties, both *required* under every plan:
+
+    * **det-epoch-order** — commit order equals sequence (epoch) order:
+      walking the committed transactions by commit position, their
+      sequencer tickets' sequence numbers must be strictly increasing.
+      The fixed pre-order is the protocol's entire claim; a single
+      inversion means the commit gate leaked.
+    * **det-no-protocol-aborts** — the protocol itself never aborts:
+      no deadlock victims, no validation failures.  ``stats["aborts"]``
+      counts only protocol-issued ABORT decisions (kernel-injected
+      fault aborts bypass it), so this holds even under fault plans;
+      reconnaissance aborts cannot occur in harness runs because the
+      kernel declares exact footprints from the specs.
+    """
+    tickets = protocol.sequencer.tickets
+    order = sorted(protocol.commit_positions.items(), key=lambda item: item[1])
+    seqs = [
+        (txn, tickets[txn].seq) for txn, _ in order if txn in tickets
+    ]
+    inversion = ""
+    for (prev_txn, prev_seq), (txn, seq) in zip(seqs, seqs[1:]):
+        if seq < prev_seq:
+            inversion = (
+                f"T{txn} (seq {seq}) committed after T{prev_txn} "
+                f"(seq {prev_seq})"
+            )
+            break
+    aborts = protocol.stats["aborts"]
+    return [
+        OracleVerdict(
+            "det-epoch-order", not inversion, required=True, detail=inversion
+        ),
+        OracleVerdict(
+            "det-no-protocol-aborts",
+            aborts == 0,
+            required=True,
+            detail="" if aborts == 0 else (
+                f"deterministic protocol issued {aborts} abort decision(s); "
+                "expected zero (no deadlocks, no validation)"
+            ),
+        ),
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -161,6 +161,13 @@ PINNED_RANDOM_DIGESTS = {
     "si/polling": "95ff45dfabc7c97daec545734593f23fb1fd294b7576f99657084edcb87f87ca",
     "serializable-si/event": "95ff45dfabc7c97daec545734593f23fb1fd294b7576f99657084edcb87f87ca",
     "serializable-si/polling": "95ff45dfabc7c97daec545734593f23fb1fd294b7576f99657084edcb87f87ca",
+    # all four deterministic digests coincide by design: the sequencer
+    # pre-orders the batch, so wait policy and the epoch barrier change
+    # who blocks when but never the committed history
+    "det-epoch/event": "319737fdbede02bfe785dfd34b37de3304b10de914e15fbc8b23303e4eb494bd",
+    "det-epoch/polling": "319737fdbede02bfe785dfd34b37de3304b10de914e15fbc8b23303e4eb494bd",
+    "det-slot/event": "319737fdbede02bfe785dfd34b37de3304b10de914e15fbc8b23303e4eb494bd",
+    "det-slot/polling": "319737fdbede02bfe785dfd34b37de3304b10de914e15fbc8b23303e4eb494bd",
 }
 
 
