@@ -75,6 +75,11 @@ def det_json_path():
     return _summary_path("REPRO_BENCH_DET_JSON", "BENCH_det.json")
 
 
+def repl_json_path():
+    """Where the replication benchmarks write ``BENCH_repl.json`` (same rule)."""
+    return _summary_path("REPRO_BENCH_REPL_JSON", "BENCH_repl.json")
+
+
 def update_bench_json(path, section, payload, **top_level):
     """Merge one benchmark's section into a shared summary file.
 

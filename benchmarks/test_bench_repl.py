@@ -1,0 +1,166 @@
+"""E19 — what Paxos replication costs, and what failover buys.
+
+Replicated shards run every 2PC prepare/decision through a consensus
+round, so commits cost extra virtual time even when nothing fails.  The
+payoff is that a shard survives its leader dying mid-batch.  This
+benchmark runs the same cross-shard transfer batch three ways — flat
+(one participant per shard), replicated (three-replica Paxos groups),
+and replicated with the shard-0 leader crashed mid-run — and reports
+the commit rate, virtual makespan, and the **failover latency**: the
+virtual time from the leader crash to the first post-crash leader
+stint anywhere in the wounded group.
+
+All numbers are virtual-time and therefore deterministic: the summary
+written to ``BENCH_repl.json`` is replayable byte-for-byte.
+
+Asserted always (quick or full):
+
+* conservation on every cell — replication and failover never mint money;
+* a commit floor on every cell (>= 75% even through the leader crash);
+* the crash actually happened, a successor took over, and the failover
+  latency is positive and bounded by the group's election timeouts;
+* the replicated cells replay byte-identically.
+"""
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.dist import run_distributed_batch
+from repro.dist.replication import ReplicaCrashSpec
+from repro.engine.metrics import Metrics
+from repro.engine.workloads import cross_shard_transfer_workload, dist_shard_of
+
+from _bench_env import QUICK, repl_json_path, update_bench_json
+
+NUM_SHARDS = 2
+NUM_TXNS = 8 if QUICK else 24
+REPLICAS = 3
+CRASH_AT = 25.0
+CRASH = (ReplicaCrashSpec(shard="shard0", at=CRASH_AT, restart_delay=12.0),)
+#: generous failover ceiling: election timeout (8) + jitter (6) leaves a
+#: wounded group leaderless for at most a few timeout rounds
+FAILOVER_CEILING = 60.0
+
+
+def _build():
+    return cross_shard_transfer_workload(
+        num_shards=NUM_SHARDS,
+        accounts_per_shard=6,
+        num_transactions=NUM_TXNS,
+        cross_fraction=0.9,
+        seed=17,
+    )
+
+
+def _run(initial, specs, **kwargs):
+    metrics = Metrics()
+    report = run_distributed_batch(
+        initial,
+        specs,
+        num_shards=NUM_SHARDS,
+        shard_of=dist_shard_of,
+        seed=17,
+        metrics=metrics,
+        **kwargs,
+    )
+    return report, metrics.snapshot()
+
+
+def _failover_latency(report, crash_at):
+    """Virtual time from the crash to the first post-crash leader stint."""
+    starts = [
+        stint["start"]
+        for replica in report.groups["shard0"].replicas
+        for stint in replica.leader_stints
+        if stint["start"] > crash_at
+    ]
+    return min(starts) - crash_at if starts else None
+
+
+def test_replication_costs_time_and_survives_failover(benchmark):
+    initial, specs = _build()
+
+    def run_all():
+        started = time.perf_counter()
+        cells = {
+            "flat": _run(initial, specs),
+            "replicated": _run(initial, specs, replicas=REPLICAS),
+            "leader-crash": _run(
+                initial, specs, replicas=REPLICAS, replica_crashes=list(CRASH)
+            ),
+        }
+        return cells, time.perf_counter() - started
+
+    cells, _elapsed = benchmark(run_all)
+
+    crashed, crashed_metrics = cells["leader-crash"]
+    failover = _failover_latency(crashed, CRASH_AT)
+
+    rows = []
+    for name, (report, snapshot) in cells.items():
+        rows.append(
+            [
+                name,
+                f"{report.commit_count}/{NUM_TXNS}",
+                f"{report.virtual_end:.1f}",
+                f"{report.commit_count / report.virtual_end:.3f}",
+                snapshot.get("dist.retries", 0),
+                snapshot.get("dist.repl.crashes", 0),
+                f"{failover:.1f}" if name == "leader-crash" and failover else "-",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["cell", "commits", "virtual-makespan", "commits/vs",
+             "retries", "replica-crashes", "failover"],
+            rows,
+        )
+    )
+
+    total = sum(initial.values())
+    for name, (report, _snapshot) in cells.items():
+        assert sum(report.final_snapshot.values()) == total, name
+        # commit floor: retries + failover push >= 75% of programs through
+        assert report.commit_count >= int(0.75 * NUM_TXNS), name
+
+    # the crash happened and a successor picked up the lease in bounded
+    # virtual time
+    assert crashed_metrics["dist.repl.crashes"] >= 1
+    assert failover is not None and 0.0 < failover <= FAILOVER_CEILING
+
+    update_bench_json(
+        repl_json_path(),
+        "replication",
+        {
+            "num_transactions": NUM_TXNS,
+            "replicas": REPLICAS,
+            "cells": {
+                name: {
+                    "commits": report.commit_count,
+                    "virtual_makespan": round(report.virtual_end, 3),
+                    "commits_per_virtual_second": round(
+                        report.commit_count / report.virtual_end, 5
+                    ),
+                }
+                for name, (report, _snapshot) in cells.items()
+            },
+            "failover_latency_virtual": round(failover, 3),
+        },
+        quick=QUICK,
+    )
+
+
+def test_replicated_cells_replay_byte_identically(benchmark):
+    initial, specs = _build()
+
+    def digests():
+        return [
+            _run(initial, specs, replicas=REPLICAS)[0].digest(),
+            _run(
+                initial, specs, replicas=REPLICAS, replica_crashes=list(CRASH)
+            )[0].digest(),
+        ]
+
+    first = benchmark(digests)
+    assert first == digests()

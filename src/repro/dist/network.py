@@ -1,0 +1,333 @@
+"""A deterministic simulated message-passing network.
+
+The distributed layer's substrate: nodes (the 2PC coordinator, one
+participant per shard) exchange :class:`Message` objects through a
+single virtual-time event loop.  Three properties make chaos runs
+replayable byte-for-byte:
+
+* **one clock** — every delivery and timer lives in one min-heap keyed
+  by ``(virtual time, sequence number)``, so dispatch order is a total
+  order independent of dict/set iteration;
+* **one latency RNG** — per-message latency is drawn from the network's
+  private ``random.Random`` in send order, which is itself
+  deterministic;
+* **one fault plan** — message loss and duplication come from a
+  :class:`~repro.engine.faults.NetworkFaultPlan` (the network-side
+  sibling of the engine's ``FaultPlan``), consulted exactly once per
+  send; partition windows are a pure function of ``(src, dst, now)``.
+
+Reordering needs no dedicated fault: any nonzero latency jitter already
+reorders messages, and a duplicated message's two copies draw
+independent latencies.  Protocol layers must therefore be duplicate-
+and reorder-tolerant by construction — which is exactly what the 2PC
+conformance cells exercise.
+
+Nodes implement ``name``, ``on_message(now, message)`` and
+``on_timer(now, kind, payload)``.  A node may mark itself crashed via
+``accepting_messages`` / ``accepting_timers``; the network then counts
+the delivery as dropped-at-node instead of dispatching it (a crashed
+coordinator loses in-flight votes — that is the point).
+
+Timers are **incarnation-stamped**: every timer belongs to the
+incarnation of its node that armed it.  A crash calls
+:meth:`SimulatedNetwork.bump_incarnation`, so a timer armed before the
+crash can never fire into the restarted process — it is counted under
+``dist.net.stale_timers`` and dropped.  Restart timers are armed with
+``supervisor=True``, which exempts them from the stamp (they model the
+external supervisor, not the crashed process).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.engine.faults import (
+    DROP_ACTION,
+    DUPLICATE_ACTION,
+    NetworkFaultPlan,
+)
+from repro.engine.metrics import Metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """A one-way message latency distribution: ``base + U[0, jitter)``.
+
+    The default (base 1.0, jitter 0.5) keeps round trips comfortably
+    under the 2PC layer's default timeouts; jitter > 0 is what makes
+    message *reordering* happen without a dedicated fault knob.
+    """
+
+    base: float = 1.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"latency base must be non-negative, got {self.base!r}")
+        if self.jitter < 0:
+            raise ValueError(
+                f"latency jitter must be non-negative, got {self.jitter!r}"
+            )
+
+    def sample(self, rng: random.Random) -> float:
+        if self.jitter == 0:
+            return self.base
+        return self.base + rng.random() * self.jitter
+
+
+class Message:
+    """One message in flight: source, destination, kind, payload."""
+
+    __slots__ = ("src", "dst", "kind", "payload", "uid")
+
+    def __init__(
+        self, src: str, dst: str, kind: str, payload: Dict[str, Any], uid: int
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.uid = uid
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(#{self.uid} {self.src}->{self.dst} {self.kind!r} "
+            f"{self.payload!r})"
+        )
+
+
+#: heap entry tags, compared only after (time, seq) so dispatch order is
+#: fully determined by the scheduling order
+_DELIVERY = 0
+_TIMER = 1
+
+
+class SimulatedNetwork:
+    """The virtual-time event loop connecting distributed nodes.
+
+    Parameters
+    ----------
+    latency:
+        The per-message one-way latency distribution.
+    seed:
+        Seed of the private latency RNG.
+    fault_plan:
+        Optional :class:`~repro.engine.faults.NetworkFaultPlan` injecting
+        seeded loss/duplication and deterministic partition drops.
+    metrics:
+        Registry for the ``dist.net.*`` counters (sent, delivered,
+        dropped, duplicated, dropped_at_node).
+    tracer:
+        Optional structured tracer; SEND/RECV events are stamped with
+        virtual time, so a traced run's event stream is deterministic.
+    """
+
+    def __init__(
+        self,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        fault_plan: Optional[NetworkFaultPlan] = None,
+        metrics: Optional[Metrics] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.latency = latency if latency is not None else LatencyModel()
+        self.fault_plan = fault_plan
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._tracing = self.tracer.enabled
+        self.now: float = 0.0
+        self._rng = random.Random(seed)
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._next_uid = 1
+        self._next_timer_id = 1
+        self._cancelled_timers: Set[int] = set()
+        self._nodes: Dict[str, Any] = {}
+        self._incarnations: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def register(self, node: Any) -> Any:
+        """Attach a node; its ``name`` becomes its address."""
+        name = node.name
+        if name in self._nodes:
+            raise ValueError(f"a node named {name!r} is already registered")
+        self._nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Any:
+        return self._nodes[name]
+
+    # ------------------------------------------------------------------
+    # incarnations
+    # ------------------------------------------------------------------
+    def incarnation_of(self, name: str) -> int:
+        """The node's current incarnation number (0 until its first crash)."""
+        return self._incarnations.get(name, 0)
+
+    def bump_incarnation(self, name: str) -> int:
+        """Start a new incarnation of ``name`` (call at crash time).
+
+        Every timer armed by the previous incarnation becomes stale: it
+        will be dropped at fire time instead of being dispatched into the
+        restarted process.
+        """
+        incarnation = self._incarnations.get(name, 0) + 1
+        self._incarnations[name] = incarnation
+        return incarnation
+
+    # ------------------------------------------------------------------
+    # sending and timers
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, kind: str, payload: Dict[str, Any]) -> None:
+        """Submit one message; faults and latency decide what arrives."""
+        if dst not in self._nodes:
+            raise KeyError(f"unknown destination node {dst!r}")
+        self.metrics.incr("dist.net.sent")
+        message = Message(src, dst, kind, payload, self._next_uid)
+        self._next_uid += 1
+        if self._tracing:
+            self.tracer.now = self.now
+            self.tracer.emit(
+                obs_trace.SEND,
+                int(payload.get("txn", 0)),
+                payload.get("txn"),
+                0,
+                detail=kind,
+                meta={"src": src, "dst": dst},
+            )
+        action = None
+        if self.fault_plan is not None:
+            action = self.fault_plan.intercept(src, dst, kind, self.now)
+        if action == DROP_ACTION:
+            self.metrics.incr("dist.net.dropped")
+            return
+        copies = 2 if action == DUPLICATE_ACTION else 1
+        if copies == 2:
+            self.metrics.incr("dist.net.duplicated")
+        for _ in range(copies):
+            delay = self.latency.sample(self._rng)
+            self._push(self.now + delay, _DELIVERY, message)
+
+    def set_timer(
+        self,
+        node_name: str,
+        delay: float,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        supervisor: bool = False,
+    ) -> int:
+        """Schedule ``node.on_timer(now, kind, payload)``; returns a timer id.
+
+        ``supervisor=True`` exempts the timer from incarnation staleness
+        (and from the crashed-node timer drop): it belongs to the external
+        supervisor that restarts the node, not to the node process itself.
+        """
+        if delay < 0:
+            raise ValueError(f"timer delay must be non-negative, got {delay!r}")
+        timer_id = self._next_timer_id
+        self._next_timer_id += 1
+        incarnation = None if supervisor else self.incarnation_of(node_name)
+        self._push(
+            self.now + delay,
+            _TIMER,
+            (timer_id, node_name, kind, payload or {}, incarnation),
+        )
+        return timer_id
+
+    def cancel_timer(self, timer_id: int) -> None:
+        """Cancel a pending timer (firing a cancelled timer is a no-op)."""
+        self._cancelled_timers.add(timer_id)
+
+    def _push(self, time: float, tag: int, item: Any) -> None:
+        heapq.heappush(self._heap, (time, self._seq, tag, item))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(
+        self, until: Optional[float] = None, max_events: int = 1_000_000
+    ) -> int:
+        """Dispatch events in (time, seq) order; returns events dispatched.
+
+        Stops when the heap drains (the distributed protocol reached
+        quiescence) or the next event lies past ``until``.  The
+        ``max_events`` guard turns a retry livelock into a loud failure
+        instead of an infinite loop.
+        """
+        dispatched = 0
+        while self._heap:
+            time, _, tag, item = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = max(self.now, time)
+            dispatched += 1
+            if dispatched > max_events:
+                raise RuntimeError(
+                    f"simulated network exceeded {max_events} events at "
+                    f"t={self.now:g} — a retry loop is not converging"
+                )
+            if tag == _DELIVERY:
+                self._deliver(item)
+            else:
+                self._fire_timer(item)
+        return dispatched
+
+    @property
+    def idle(self) -> bool:
+        """Whether no delivery or timer remains queued."""
+        return not self._heap
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.dst)
+        if node is None or not getattr(node, "accepting_messages", True):
+            # destination crashed (or was never registered in a partial
+            # topology): the message is lost exactly as a real crashed
+            # host loses its inbound packets
+            self.metrics.incr("dist.net.dropped_at_node")
+            return
+        self.metrics.incr("dist.net.delivered")
+        if self._tracing:
+            self.tracer.now = self.now
+            self.tracer.emit(
+                obs_trace.RECV,
+                int(message.payload.get("txn", 0)),
+                message.payload.get("txn"),
+                0,
+                detail=message.kind,
+                meta={"src": message.src, "dst": message.dst},
+            )
+        node.on_message(self.now, message)
+
+    def _fire_timer(
+        self, item: Tuple[int, str, str, Dict[str, Any], Optional[int]]
+    ) -> None:
+        timer_id, node_name, kind, payload, incarnation = item
+        if timer_id in self._cancelled_timers:
+            self._cancelled_timers.discard(timer_id)
+            return
+        node = self._nodes.get(node_name)
+        if node is None:
+            return
+        supervisor = incarnation is None or kind == "recover"
+        if incarnation is not None and incarnation != self.incarnation_of(node_name):
+            # armed by a pre-crash incarnation: even if the node has since
+            # restarted and accepts timers again, this timer belongs to a
+            # dead process and must not fire into the new one
+            if not supervisor:
+                self.metrics.incr("dist.net.stale_timers")
+                return
+        if not getattr(node, "accepting_timers", True) and not supervisor:
+            # a crashed node's pending timers die with its volatile state;
+            # only the supervisor's restart timer survives (it models the
+            # supervisor, not the crashed process)
+            return
+        node.on_timer(self.now, kind, payload)

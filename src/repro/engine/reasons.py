@@ -97,6 +97,10 @@ ABORT_TPC_PARTICIPANT_NO = "2pc-participant-no"
 #: 2PC: admission control shed the transaction — a shard it touches
 #: crossed the degradation threshold, or the backpressure queue is full
 ABORT_TPC_SHED = "2pc-shed"
+#: replication: the shard's replica group could not reach a quorum (the
+#: contacted replica is leaderless/minority-partitioned, or the leader's
+#: quorum lease lapsed) — the transaction sheds instead of hanging
+ABORT_REPL_NO_QUORUM = "repl-no-quorum"
 
 #: every taxonomy code with a one-line description — the README table and
 #: the ``python -m repro.obs`` abort summary render from this registry
@@ -120,6 +124,7 @@ ABORT_REASONS: Dict[str, str] = {
     ABORT_TPC_COORDINATOR_CRASH: "2PC coordinator crashed pre-decision (presumed abort)",
     ABORT_TPC_PARTICIPANT_NO: "2PC participant voted NO at prepare",
     ABORT_TPC_SHED: "2PC admission shed (degraded shard or full backlog)",
+    ABORT_REPL_NO_QUORUM: "replica group quorum lost (leaderless or minority side)",
     ABORT_UNSPECIFIED: "legacy/unclassified abort (should not occur)",
 }
 
@@ -131,5 +136,6 @@ TPC_ABORT_CODES = frozenset(
         ABORT_TPC_COORDINATOR_CRASH,
         ABORT_TPC_PARTICIPANT_NO,
         ABORT_TPC_SHED,
+        ABORT_REPL_NO_QUORUM,
     }
 )

@@ -105,12 +105,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--dist", action="store_true",
         help="run the distributed chaos matrix instead (cross-shard 2PC "
-             "cells under message loss and coordinator crashes)",
+             "cells under message loss, partitions, coordinator and "
+             "replica crashes)",
     )
     parser.add_argument(
         "--plan", default=None, choices=DIST_PLANS,
         help="with --dist: pin one chaos plan (default: all of "
              f"{', '.join(DIST_PLANS)})",
+    )
+    parser.add_argument(
+        "--replication", default="both", choices=["both", "on", "off"],
+        help="with --dist: run shards as Paxos replica groups ('on'), "
+             "as single participants ('off'), or both (default)",
     )
     return parser
 
@@ -192,9 +198,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _main_dist(args, quick: bool) -> int:
-    """The distributed chaos sweep: seeds × {none, loss, crash} cells."""
+    """The distributed chaos sweep: seeds × plans × replication cells."""
     plans = (args.plan,) if args.plan else None
-    reports = run_dist_seeds(args.seed, plans=plans, quick=quick)
+    reports = run_dist_seeds(
+        args.seed, plans=plans, quick=quick, replication=args.replication
+    )
     failed = [report for report in reports if not report.ok]
     for report in reports:
         print(report.summary())

@@ -422,4 +422,220 @@ def evaluate_dist_run(scenario, report) -> Tuple[OracleVerdict, ...]:
             "dist-taxonomy", not taxonomy_detail, required=True, detail=taxonomy_detail
         )
     )
+    if getattr(report, "groups", None):
+        verdicts.extend(replication_verdicts(scenario, report))
     return tuple(verdicts)
+
+
+# ----------------------------------------------------------------------
+# replication oracles (Paxos-replicated shards, repro.dist.replication)
+# ----------------------------------------------------------------------
+
+
+def _replay_shard_log(initial, prefix):
+    """An independent mini-interpreter for a shard's chosen 2PC log.
+
+    Deliberately *not* the production apply path: it re-derives the
+    final key/value state from the committed log prefix with its own
+    version bookkeeping, so a bug in :meth:`ReplicatedParticipant.
+    apply_command` cannot vouch for itself.
+    """
+    values = dict(initial)
+    versions = {key: 0 for key in initial}
+    prepared: Dict[int, Dict] = {}
+    locks: Dict[str, int] = {}
+    outcomes: Dict[int, str] = {}
+    for _term, command in prefix:
+        kind = command[0]
+        if kind == "noop":
+            continue
+        if kind == "prepare":
+            _, txn_id, reads, writes = command
+            if txn_id in outcomes or txn_id in prepared:
+                continue  # duplicate chosen entry: first application decided
+            footprint = set(reads) | set(writes)
+            conflicted = any(
+                locks.get(key) not in (None, txn_id) for key in footprint
+            )
+            stale = any(
+                versions.get(key, 0) != version for key, version in reads.items()
+            )
+            if conflicted or stale:
+                outcomes[txn_id] = "abort"
+                continue
+            prepared[txn_id] = dict(writes)
+            for key in footprint:
+                locks[key] = txn_id
+        elif kind == "decide":
+            _, txn_id, outcome = command
+            writes = prepared.pop(txn_id, None)
+            for key in [k for k, owner in locks.items() if owner == txn_id]:
+                del locks[key]
+            if writes is not None:
+                if outcome == "commit":
+                    for key in sorted(writes):
+                        values[key] = writes[key]
+                        versions[key] = versions.get(key, 0) + 1
+                outcomes[txn_id] = outcome
+            else:
+                outcomes.setdefault(txn_id, outcome)
+    return values
+
+
+def replication_verdicts(scenario, report) -> List[OracleVerdict]:
+    """The four replica-group oracles, judged per shard group.
+
+    1. **repl-log-safety** — chosen-prefix agreement: for every pair of
+       replicas in a group, their logs agree entry-for-entry up to the
+       shorter commit index.  This is the consensus safety property;
+       a divergence means two replicas chose different values for the
+       same slot.
+    2. **repl-lease-uniqueness** — at most one replica ever became
+       leader in any given term (from the union of every replica's
+       durable ``leader_stints``), and no replica's durable vote
+       record grants two different candidates in one term.
+    3. **repl-state-agreement** — an independent replay of the
+       authoritative replica's committed log prefix over the shard's
+       initial slice reproduces its store exactly, and every live
+       replica that has applied as much as the authoritative one holds
+       a byte-identical snapshot.
+    4. **repl-quorum-liveness** — progress was not silently lost: the
+       run committed at least one transaction, and under the faultless
+       plan no attempt was ever aborted with ``repl-no-quorum`` (a
+       quorum-loss report without a fault injection is a false alarm).
+    """
+    from repro.engine.reasons import ABORT_REPL_NO_QUORUM
+
+    verdicts: List[OracleVerdict] = []
+
+    safety_detail = ""
+    for shard in sorted(report.groups):
+        group = report.groups[shard]
+        replicas = group.replicas
+        for left_index in range(len(replicas)):
+            for right_index in range(left_index + 1, len(replicas)):
+                left, right = replicas[left_index], replicas[right_index]
+                agreed = min(left.commit_index, right.commit_index)
+                for slot in range(agreed):
+                    if left.log[slot] != right.log[slot]:
+                        safety_detail = (
+                            f"{shard}: {left.name} and {right.name} disagree "
+                            f"at committed slot {slot}: "
+                            f"{left.log[slot]!r} vs {right.log[slot]!r}"
+                        )
+                        break
+                if safety_detail:
+                    break
+            if safety_detail:
+                break
+        if safety_detail:
+            break
+    verdicts.append(
+        OracleVerdict(
+            "repl-log-safety", not safety_detail, required=True, detail=safety_detail
+        )
+    )
+
+    lease_detail = ""
+    for shard in sorted(report.groups):
+        group = report.groups[shard]
+        leaders_by_term: Dict[int, Set[str]] = {}
+        for rep in group.replicas:
+            for stint in rep.leader_stints:
+                leaders_by_term.setdefault(stint["term"], set()).add(stint["replica"])
+        for term in sorted(leaders_by_term):
+            if len(leaders_by_term[term]) > 1:
+                lease_detail = (
+                    f"{shard}: term {term} had leaders "
+                    f"{sorted(leaders_by_term[term])}"
+                )
+                break
+        if lease_detail:
+            break
+        for rep in group.replicas:
+            grants_by_term: Dict[int, Set[str]] = {}
+            for term, candidate in rep.vote_grants:
+                grants_by_term.setdefault(term, set()).add(candidate)
+            double = [t for t, cands in grants_by_term.items() if len(cands) > 1]
+            if double:
+                term = min(double)
+                lease_detail = (
+                    f"{shard}: {rep.name} granted term {term} to "
+                    f"{sorted(grants_by_term[term])}"
+                )
+                break
+        if lease_detail:
+            break
+    verdicts.append(
+        OracleVerdict(
+            "repl-lease-uniqueness",
+            not lease_detail,
+            required=True,
+            detail=lease_detail,
+        )
+    )
+
+    agreement_detail = ""
+    for shard in sorted(report.groups):
+        group = report.groups[shard]
+        authority = group.authoritative
+        replayed = _replay_shard_log(
+            authority.initial_data, authority.log[: authority.last_applied]
+        )
+        snapshot = authority.store.snapshot()
+        if replayed != snapshot:
+            diff = sorted(
+                key
+                for key in set(replayed) | set(snapshot)
+                if replayed.get(key) != snapshot.get(key)
+            )
+            agreement_detail = (
+                f"{shard}: independent log replay diverges from "
+                f"{authority.name}'s store on {diff[:5]}"
+            )
+            break
+        for rep in group.live:
+            if rep.last_applied == authority.last_applied and (
+                rep.store.snapshot() != snapshot
+            ):
+                agreement_detail = (
+                    f"{shard}: {rep.name} applied the same prefix as "
+                    f"{authority.name} but holds a different snapshot"
+                )
+                break
+        if agreement_detail:
+            break
+    verdicts.append(
+        OracleVerdict(
+            "repl-state-agreement",
+            not agreement_detail,
+            required=True,
+            detail=agreement_detail,
+        )
+    )
+
+    liveness_detail = ""
+    if report.commit_count < 1:
+        liveness_detail = "no transaction committed (replication stalled the run)"
+    elif scenario.plan == "none":
+        false_alarms = [
+            record
+            for record in report.abort_records
+            if record.code == ABORT_REPL_NO_QUORUM
+        ]
+        if false_alarms:
+            record = false_alarms[0]
+            liveness_detail = (
+                f"faultless plan reported quorum loss: spec "
+                f"{record.spec_index} attempt {record.attempt} aborted "
+                f"with {ABORT_REPL_NO_QUORUM!r}"
+            )
+    verdicts.append(
+        OracleVerdict(
+            "repl-quorum-liveness",
+            not liveness_detail,
+            required=True,
+            detail=liveness_detail,
+        )
+    )
+    return verdicts

@@ -463,6 +463,7 @@ class DistCellOutcome:
     digest: str
     verdicts: Tuple[OracleVerdict, ...]
     replay_ok: bool
+    replicas: int = 1
 
     @property
     def violations(self) -> Tuple[OracleVerdict, ...]:
@@ -488,7 +489,9 @@ class DistReport:
         bad = [outcome for _s, outcome in self.outcomes if not outcome.ok]
         status = "ok" if self.ok else f"{len(bad)} violating cell(s)"
         cells = ", ".join(
-            f"{outcome.plan}:{outcome.committed}/{outcome.attempts}c"
+            f"{outcome.plan}"
+            + (f"+r{outcome.replicas}" if outcome.replicas > 1 else "")
+            + f":{outcome.committed}/{outcome.attempts}c"
             + ("" if outcome.replay_ok else " REPLAY-MISMATCH")
             for _s, outcome in self.outcomes
         )
@@ -501,7 +504,7 @@ class DistReport:
                 continue
             lines.append(
                 f"dist counterexample: seed={self.seed} plan={scenario.plan} "
-                f"shards={scenario.num_shards}"
+                f"shards={scenario.num_shards} replicas={scenario.replicas}"
             )
             lines.append(scenario.describe())
             if not outcome.replay_ok:
@@ -511,9 +514,10 @@ class DistReport:
                 )
             for verdict in outcome.violations:
                 lines.append(f"  {verdict}")
+            replication = "on" if scenario.replicas > 1 else "off"
             lines.append(
                 f"replay: python -m repro.harness --dist --seed {self.seed} "
-                f"--plan {scenario.plan}"
+                f"--plan {scenario.plan} --replication {replication}"
             )
         return "\n".join(lines)
 
@@ -530,6 +534,8 @@ def _run_dist_scenario(scenario) -> Any:
         network_faults=scenario.network_faults,
         crash_specs=list(scenario.crash_specs),
         seed=scenario.seed,
+        replicas=scenario.replicas,
+        replica_crashes=list(scenario.replica_crashes),
     )
 
 
@@ -554,23 +560,48 @@ def run_dist_cell(scenario) -> DistCellOutcome:
         digest=report.digest(),
         verdicts=verdicts,
         replay_ok=report.digest() == rerun.digest(),
+        replicas=scenario.replicas,
     )
+
+
+#: replica-group size used by the replication axis of the dist matrix
+DIST_REPLICAS = 3
 
 
 def run_dist_seeds(
     seeds: Sequence[int],
     plans: Optional[Sequence[str]] = None,
     quick: bool = False,
+    replication: str = "both",
 ) -> List[DistReport]:
-    """The distributed conformance sweep: seeds × chaos plans."""
+    """The distributed conformance sweep: seeds × chaos plans × replication.
+
+    ``replication`` selects the replica axis: ``"off"`` runs each shard
+    as the single PR-8 participant, ``"on"`` as a three-replica Paxos
+    group, ``"both"`` (the soak default) runs each plan both ways so
+    the replicated engine answers to exactly the oracles the
+    unreplicated one does — plus the four replication oracles.
+    """
     from repro.harness.scenarios import DIST_PLANS, build_dist_scenario
 
+    if replication not in ("both", "on", "off"):
+        raise ValueError(
+            f"replication must be 'both', 'on' or 'off', got {replication!r}"
+        )
+    replica_axis = {
+        "both": (1, DIST_REPLICAS),
+        "off": (1,),
+        "on": (DIST_REPLICAS,),
+    }[replication]
     chosen = tuple(plans) if plans else DIST_PLANS
     reports: List[DistReport] = []
     for seed in seeds:
         report = DistReport(seed=seed)
         for plan in chosen:
-            scenario = build_dist_scenario(seed, plan=plan, quick=quick)
-            report.outcomes.append((scenario, run_dist_cell(scenario)))
+            for replicas in replica_axis:
+                scenario = build_dist_scenario(
+                    seed, plan=plan, quick=quick, replicas=replicas
+                )
+                report.outcomes.append((scenario, run_dist_cell(scenario)))
         reports.append(report)
     return reports

@@ -388,7 +388,7 @@ def build_scenario(
 # ----------------------------------------------------------------------
 
 #: the chaos plans the distributed conformance matrix sweeps
-DIST_PLANS = ("none", "loss", "crash")
+DIST_PLANS = ("none", "loss", "crash", "partition")
 
 
 @dataclass(frozen=True)
@@ -398,12 +398,15 @@ class DistScenario:
     The distributed sibling of :class:`Scenario`: the specs span shards
     (so they exercise the 2PC path), and instead of an engine
     ``FaultSpec`` it carries the network-level chaos — a
-    :class:`~repro.engine.faults.NetworkFaultSpec` and/or coordinator
-    :class:`~repro.dist.recovery.CrashSpec` injections.  Oracles live in
-    :func:`repro.harness.oracles.evaluate_dist_run` rather than as
-    per-scenario invariants: every distributed run is judged by the same
-    five (conservation, atomicity, replay consistency, orphan locks,
-    abort taxonomy).
+    :class:`~repro.engine.faults.NetworkFaultSpec`, coordinator
+    :class:`~repro.dist.recovery.CrashSpec` injections, and (when
+    ``replicas > 1``) replica-level
+    :class:`~repro.dist.replication.ReplicaCrashSpec` injections.
+    Oracles live in :func:`repro.harness.oracles.evaluate_dist_run`
+    rather than as per-scenario invariants: every distributed run is
+    judged by the same five chaos oracles (conservation, atomicity,
+    replay consistency, orphan locks, abort taxonomy), plus the four
+    replication oracles when the shards are replica groups.
     """
 
     name: str
@@ -414,11 +417,15 @@ class DistScenario:
     num_shards: int
     network_faults: Optional[Any] = None
     crash_specs: Tuple[Any, ...] = ()
+    replicas: int = 1
+    replica_crashes: Tuple[Any, ...] = ()
 
     def describe(self) -> str:
         lines = [
-            f"  shards={self.num_shards} plan={self.plan} "
-            f"faults={self.network_faults!r} crashes={list(self.crash_specs)}"
+            f"  shards={self.num_shards} replicas={self.replicas} "
+            f"plan={self.plan} faults={self.network_faults!r} "
+            f"crashes={list(self.crash_specs)} "
+            f"replica-crashes={list(self.replica_crashes)}"
         ]
         for index, spec in enumerate(self.specs):
             ops = " ".join(str(op) for op in spec.operations)
@@ -427,7 +434,7 @@ class DistScenario:
 
 
 def build_dist_scenario(
-    seed: int, plan: str = "none", quick: bool = False
+    seed: int, plan: str = "none", quick: bool = False, replicas: int = 1
 ) -> DistScenario:
     """Derive one distributed chaos cell deterministically from a seed.
 
@@ -435,17 +442,30 @@ def build_dist_scenario(
     baseline, ``"loss"`` adds seeded message loss + duplication (and on
     some seeds a partition window), ``"crash"`` injects one or two
     coordinator crashes at seed-chosen :data:`~repro.dist.recovery.
-    CRASH_POINTS` transitions.  Everything — topology size, batch size,
+    CRASH_POINTS` transitions, and ``"partition"`` opens a partition
+    window around a shard.  Everything — topology size, batch size,
     fault probabilities, crash transitions — is drawn from one
     ``random.Random(seed)``, so a cell is replayed exactly by its
-    ``(seed, plan, quick)`` triple.
+    ``(seed, plan, quick, replicas)`` tuple.
+
+    ``replicas > 1`` turns every shard into a Paxos replica group and
+    re-aims the chaos at the replication layer: the ``crash`` plan adds
+    leader crashes at :data:`~repro.dist.replication.REPL_CRASH_POINTS`
+    transitions, and the ``partition`` plan isolates a seed-chosen
+    subset of one shard's replicas (sometimes the minority, sometimes
+    the majority-with-a-quorum side).  Replication-specific draws come
+    from a *forked* RNG so the workload and the unreplicated chaos are
+    byte-identical to the ``replicas=1`` cell of the same seed.
     """
     from repro.dist.recovery import CRASH_POINTS, CrashSpec
+    from repro.dist.replication import REPL_CRASH_POINTS, ReplicaCrashSpec
     from repro.engine.faults import NetworkFaultSpec, PartitionWindow
     from repro.engine.workloads import cross_shard_transfer_workload
 
     if plan not in DIST_PLANS:
         raise ValueError(f"plan must be one of {DIST_PLANS}, got {plan!r}")
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
     rng = random.Random(seed * 9176 + 11)
     num_shards = rng.choice((2, 3, 4))
     accounts_per_shard = 3 if quick else rng.choice((3, 4, 5))
@@ -457,13 +477,21 @@ def build_dist_scenario(
         cross_fraction=0.8,
         seed=rng.randrange(1 << 30),
     )
+    # replication chaos draws come from a fork so the primary stream
+    # (and with it every replicas=1 cell) stays byte-identical
+    repl_rng = random.Random(seed * 7919 + 101)
     network_faults = None
     crash_specs: Tuple[Any, ...] = ()
+    replica_crashes: Tuple[Any, ...] = ()
     if plan == "loss":
         partitions = ()
         if rng.random() < 0.4:
             start = rng.uniform(0.0, 20.0)
             shard = f"shard{rng.randrange(num_shards)}"
+            if replicas > 1:
+                # the unreplicated node name does not exist in a
+                # replicated topology — isolate one of its replicas
+                shard = f"{shard}.r{repl_rng.randrange(replicas)}"
             partitions = (
                 PartitionWindow(start, start + rng.uniform(5.0, 15.0), frozenset({shard})),
             )
@@ -487,6 +515,46 @@ def build_dist_scenario(
                 CrashSpec(transition, txn_index=txn_index, restart_delay=rng.uniform(2.0, 10.0))
             )
         crash_specs = tuple(specs_list)
+        if replicas > 1:
+            # the replicated crash plan aims at shard leaders too: one or
+            # two leader crashes at 2PC-visible replication transitions
+            repl_count = 1 + (repl_rng.random() < 0.5)
+            repl_picked = set()
+            repl_list = []
+            for _ in range(repl_count):
+                shard = f"shard{repl_rng.randrange(num_shards)}"
+                transition = repl_rng.choice(REPL_CRASH_POINTS)
+                txn_index = repl_rng.randrange(max(1, num_transactions // 2))
+                if (shard, transition) in repl_picked:
+                    continue
+                repl_picked.add((shard, transition))
+                repl_list.append(
+                    ReplicaCrashSpec(
+                        shard=shard,
+                        transition=transition,
+                        txn_index=txn_index,
+                        restart_delay=repl_rng.uniform(8.0, 16.0),
+                    )
+                )
+            replica_crashes = tuple(repl_list)
+    elif plan == "partition":
+        start = rng.uniform(5.0, 25.0)
+        duration = rng.uniform(15.0, 40.0)
+        shard_index = rng.randrange(num_shards)
+        if replicas > 1:
+            # isolate a seed-chosen subset of one shard's replicas —
+            # sometimes the minority (group keeps quorum), sometimes
+            # everything but one (the survivor must shed, not hang)
+            cut = repl_rng.randrange(1, replicas)
+            members = repl_rng.sample(range(replicas), cut)
+            isolated = frozenset(
+                f"shard{shard_index}.r{member}" for member in sorted(members)
+            )
+        else:
+            isolated = frozenset({f"shard{shard_index}"})
+        network_faults = NetworkFaultSpec(
+            partitions=(PartitionWindow(start, start + duration, isolated),),
+        )
     return DistScenario(
         name=f"cross-shard-transfers/{plan}",
         seed=seed,
@@ -496,4 +564,6 @@ def build_dist_scenario(
         num_shards=num_shards,
         network_faults=network_faults,
         crash_specs=crash_specs,
+        replicas=replicas,
+        replica_crashes=replica_crashes,
     )

@@ -49,10 +49,11 @@ SEND = "send"            # a message entered the simulated network
 RECV = "recv"            # a message was delivered to its node
 TIMEOUT = "timeout"      # a protocol timer fired (retry/backoff path)
 DECIDE = "decide"        # the 2PC coordinator logged a commit/abort decision
-CRASH = "crash"          # the coordinator crashed (volatile state lost)
-RECOVER = "recover"      # the coordinator restarted and replayed its log
+CRASH = "crash"          # a node crashed (volatile state lost)
+RECOVER = "recover"      # a node restarted and replayed its durable log
+ELECT = "elect"          # a replica group elected a leader for a new term
 
-DIST_EVENT_TYPES = (SEND, RECV, TIMEOUT, DECIDE, CRASH, RECOVER)
+DIST_EVENT_TYPES = (SEND, RECV, TIMEOUT, DECIDE, CRASH, RECOVER, ELECT)
 
 
 class TraceEvent:

@@ -183,6 +183,50 @@ class TestCrashSemantics:
         network.run()
         assert b.log == [("timer", 3.0, "recover", 9)]
 
+    def test_stale_timer_does_not_fire_into_restarted_node(self):
+        # armed before the crash, firing after the restart: the timer
+        # belongs to the dead incarnation and must be swallowed
+        metrics = Metrics()
+        network, a, b = build(metrics=metrics)
+        network.set_timer("b", 5.0, "election", {"n": 1})
+        network.run(until=1.0)
+        b.accepting_messages = False  # crash at t=1
+        b.accepting_timers = False
+        network.bump_incarnation("b")
+        b.accepting_messages = True  # restart at t=2, before the timer fires
+        b.accepting_timers = True
+        network.run()
+        assert b.log == []
+        assert metrics.snapshot()["dist.net.stale_timers"] == 1
+
+    def test_new_incarnations_timers_still_fire(self):
+        metrics = Metrics()
+        network, a, b = build(metrics=metrics)
+        network.set_timer("b", 5.0, "old", {"n": 1})
+        network.bump_incarnation("b")
+        network.set_timer("b", 6.0, "new", {"n": 2})
+        network.run()
+        assert b.log == [("timer", 6.0, "new", 2)]
+        assert metrics.snapshot()["dist.net.stale_timers"] == 1
+
+    def test_supervisor_timer_ignores_incarnations_and_crashes(self):
+        # the restart timer models the external supervisor: it outlives
+        # both the incarnation bump and the crashed-node timer drop
+        network, a, b = build()
+        network.set_timer("b", 4.0, "repl-restart", {"n": 7}, supervisor=True)
+        b.accepting_messages = False
+        b.accepting_timers = False
+        network.bump_incarnation("b")
+        network.run()
+        assert b.log == [("timer", 4.0, "repl-restart", 7)]
+
+    def test_incarnation_counter_starts_at_zero_and_increments(self):
+        network, a, b = build()
+        assert network.incarnation_of("b") == 0
+        assert network.bump_incarnation("b") == 1
+        assert network.bump_incarnation("b") == 2
+        assert network.incarnation_of("a") == 0
+
     def test_runaway_event_loop_raises(self):
         network, a, b = build(latency=LatencyModel(1.0, 0.0))
 

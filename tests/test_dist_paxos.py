@@ -1,0 +1,246 @@
+"""The consensus core: elections, leases, replication, catch-up.
+
+These tests drive :class:`PaxosReplica` groups directly on the
+simulated network — no 2PC layer — to pin the consensus properties the
+replicated participant builds on: exactly one established leader per
+term, chosen-prefix agreement, follower catch-up after a crash, and a
+quorum-suspicion signal that fires on partitions but never on healthy
+split votes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist.network import SimulatedNetwork
+from repro.dist.paxos import (
+    FOLLOWER,
+    LEADER,
+    PaxosReplica,
+    ReplicationConfig,
+)
+from repro.engine.metrics import Metrics
+
+
+class Applier(PaxosReplica):
+    """A replica whose state machine is just an append-only journal."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        self.journal = []
+        super().__init__(*args, **kwargs)
+
+    def apply_command(self, now, index, command) -> None:
+        self.journal.append((index, command))
+
+    def reset_state(self, now) -> None:
+        self.journal = []
+
+
+def build_group(n=3, seed=0, config=None):
+    network = SimulatedNetwork(seed=seed, metrics=Metrics())
+    names = [f"g.r{i}" for i in range(n)]
+    replicas = [
+        network.register(
+            Applier(
+                name, "g", names, network, config=config, seed=seed * 1000 + i
+            )
+        )
+        for i, name in enumerate(names)
+    ]
+    return network, replicas
+
+
+def run_until(network, predicate, limit=400.0, step=20.0):
+    # the step must exceed the election timeout: run(until=...) only
+    # advances the clock by dispatching events, so a window shorter than
+    # the first pending timer would spin without progress
+    while network.now < limit:
+        network.run(until=network.now + step)
+        if predicate():
+            return True
+    return False
+
+
+def established_leader(replicas):
+    leaders = [
+        r for r in replicas if r.alive and r.role == LEADER and r.is_established_leader()
+    ]
+    if not leaders:
+        return None
+    return max(leaders, key=lambda r: r.current_term)
+
+
+class TestReplicationConfig:
+    def test_bad_heartbeat_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(heartbeat_interval=0.0)
+
+    def test_bad_suspect_after_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(suspect_after=0)
+
+
+class TestElections:
+    def test_group_elects_exactly_one_established_leader(self):
+        network, replicas = build_group()
+        assert run_until(network, lambda: established_leader(replicas))
+        leaders = [r for r in replicas if r.role == LEADER]
+        assert len(leaders) == 1
+        leader = leaders[0]
+        # the term no-op is chosen on a quorum
+        assert leader.commit_index >= 1
+        assert leader.log[leader._term_start_index][1] == ("noop",)
+
+    def test_vote_is_granted_at_most_once_per_term(self):
+        network, replicas = build_group(seed=3)
+        run_until(network, lambda: established_leader(replicas))
+        network.run(until=network.now + 100.0)
+        for replica in replicas:
+            grants = {}
+            for term, candidate in replica.vote_grants:
+                grants.setdefault(term, set()).add(candidate)
+            for term, candidates in grants.items():
+                assert len(candidates) == 1, (replica.name, term, candidates)
+
+    def test_at_most_one_leader_per_term(self):
+        network, replicas = build_group(seed=7)
+        run_until(network, lambda: established_leader(replicas))
+        network.run(until=network.now + 100.0)
+        by_term = {}
+        for replica in replicas:
+            for stint in replica.leader_stints:
+                by_term.setdefault(stint["term"], set()).add(stint["replica"])
+        for term, names in by_term.items():
+            assert len(names) == 1, (term, names)
+
+    def test_healthy_group_never_suspects_quorum_loss(self):
+        # even across seeds whose startup elections split, a group whose
+        # members answer each other must not report repl-no-quorum
+        for seed in range(6):
+            network, replicas = build_group(seed=seed)
+            run_until(network, lambda: established_leader(replicas))
+            network.run(until=network.now + 60.0)
+            assert not any(r.quorum_suspect() for r in replicas), seed
+
+    def test_single_replica_group_is_its_own_leader(self):
+        network, [replica] = build_group(n=1)
+        assert run_until(network, lambda: established_leader([replica]), limit=60.0)
+        assert replica.has_lease(network.now)
+
+
+class TestLogReplication:
+    def test_proposals_reach_every_journal_in_order(self):
+        network, replicas = build_group()
+        run_until(network, lambda: established_leader(replicas))
+        leader = established_leader(replicas)
+        for i in range(5):
+            leader.propose(network.now, ("set", i))
+        run_until(
+            network,
+            lambda: all(
+                sum(cmd != ("noop",) for _i, cmd in r.journal) == 5
+                for r in replicas
+            ),
+            limit=network.now + 120.0,
+        )
+        journals = [
+            [cmd for _idx, cmd in r.journal if cmd != ("noop",)] for r in replicas
+        ]
+        assert journals[0] == [("set", i) for i in range(5)]
+        assert all(j == journals[0] for j in journals)
+
+    def test_committed_prefixes_agree_pairwise(self):
+        network, replicas = build_group(seed=11)
+        run_until(network, lambda: established_leader(replicas))
+        leader = established_leader(replicas)
+        for i in range(4):
+            leader.propose(network.now, ("set", i))
+        network.run(until=network.now + 80.0)
+        for a in replicas:
+            for b in replicas:
+                agreed = min(a.commit_index, b.commit_index)
+                assert a.log[:agreed] == b.log[:agreed], (a.name, b.name)
+
+    def test_leader_holds_a_lease_under_heartbeats(self):
+        network, replicas = build_group()
+        run_until(network, lambda: established_leader(replicas))
+        network.run(until=network.now + 30.0)
+        leader = established_leader(replicas)
+        assert leader is not None and leader.has_lease(network.now)
+
+
+class TestCrashAndCatchUp:
+    def test_leader_crash_elects_a_successor_and_logs_converge(self):
+        network, replicas = build_group(seed=5)
+        run_until(network, lambda: established_leader(replicas))
+        first = established_leader(replicas)
+        for i in range(3):
+            first.propose(network.now, ("set", i))
+        network.run(until=network.now + 30.0)
+        first_term = first.current_term
+        first.crash(network.now, restart_delay=40.0)
+
+        def new_leader():
+            leader = established_leader(replicas)
+            return leader is not None and leader.name != first.name
+
+        assert run_until(network, new_leader)
+        successor = established_leader(replicas)
+        assert successor.current_term > first_term
+
+        # the restarted ex-leader catches up to the successor's log
+        def converged():
+            return (
+                first.alive
+                and all(len(r.log) == len(successor.log) for r in replicas)
+                and all(r.last_applied == len(r.log) for r in replicas)
+            )
+
+        assert run_until(network, converged)
+        assert all(r.log == successor.log for r in replicas)
+        journals = [[cmd for _idx, cmd in r.journal] for r in replicas]
+        assert all(j == journals[0] for j in journals)
+
+    def test_chosen_commands_survive_the_crash(self):
+        network, replicas = build_group(seed=9)
+        run_until(network, lambda: established_leader(replicas))
+        leader = established_leader(replicas)
+        leader.propose(network.now, ("set", "durable"))
+        run_until(
+            network,
+            lambda: all(("set", "durable") in [c for _i, c in r.journal] for r in replicas),
+            limit=network.now + 60.0,
+        )
+        leader.crash(network.now, restart_delay=20.0)
+        run_until(
+            network,
+            lambda: leader.alive and established_leader(replicas) is not None,
+        )
+        network.run(until=network.now + 60.0)
+        for replica in replicas:
+            assert ("set", "durable") in [cmd for _idx, cmd in replica.journal]
+
+    def test_crash_is_idempotent_and_counted(self):
+        network, replicas = build_group()
+        run_until(network, lambda: established_leader(replicas))
+        victim = replicas[0]
+        victim.crash(network.now, restart_delay=10.0)
+        victim.crash(network.now, restart_delay=10.0)  # no-op while down
+        assert victim.crash_count == 1
+        assert not victim.alive
+
+
+class TestDeterminism:
+    def test_same_seed_same_history(self):
+        def signature(seed):
+            network, replicas = build_group(seed=seed)
+            run_until(network, lambda: established_leader(replicas))
+            leader = established_leader(replicas)
+            for i in range(3):
+                leader.propose(network.now, ("set", i))
+            network.run(until=network.now + 60.0)
+            return [
+                (r.name, r.current_term, r.log, r.commit_index) for r in replicas
+            ]
+
+        assert signature(4) == signature(4)
